@@ -1,0 +1,24 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark writes its paper-shaped artifact (table / plot / CSV)
+into ``bench_results/`` so the outputs survive the run; stdout shows the
+same tables when pytest is run with ``-s``.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "bench_results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def emit(results_dir: pathlib.Path, name: str, text: str) -> None:
+    """Print and persist an experiment artifact."""
+    print(f"\n{text}\n")
+    (results_dir / name).write_text(text + "\n")

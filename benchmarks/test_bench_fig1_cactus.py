@@ -1,0 +1,59 @@
+"""Fig. 1: the cactus plot (runtime vs instances solved).
+
+Reuses the Table I run records (same experiment in the paper) and
+benchmarks the per-configuration *suite* cost over a small fixed pool, so
+the benchmark numbers themselves order the four curves.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.benchgen import build_suite, select_benchmarks
+from repro.harness.cactus import cactus_csv, cactus_plot, cactus_table
+from repro.harness.presets import Preset
+from repro.harness.runner import run_matrix
+
+PRESET = Preset.smoke()
+_cache = {}
+
+
+def _pool():
+    if "pool" not in _cache:
+        pool = build_suite(per_logic=2, base_seed=3)
+        _cache["pool"] = select_benchmarks(
+            pool, min_count=PRESET.min_count,
+            sat_budget=PRESET.sat_budget)[:6]
+    return _cache["pool"]
+
+
+@pytest.mark.parametrize("configuration",
+                         ["pact_xor", "pact_shift", "pact_prime", "cdm"])
+def test_suite_time_per_configuration(benchmark, configuration):
+    """Total suite time per configuration — one cactus curve each."""
+    pool = _pool()
+
+    def run():
+        return run_matrix(pool, PRESET, configurations=(configuration,))
+
+    records = benchmark.pedantic(run, rounds=1, iterations=1)
+    _cache.setdefault("records", []).extend(records)
+
+
+def test_cactus_artifacts(benchmark, results_dir):
+    """Render the cactus plot from the per-configuration runs."""
+    records = benchmark.pedantic(lambda: _cache.get("records", []),
+                                 rounds=1, iterations=1)
+    assert records, "per-configuration benches must run first"
+    text = cactus_table(records) + "\n\n" + cactus_plot(records)
+    emit(results_dir, "fig1_cactus.txt", text)
+    (results_dir / "fig1_cactus.csv").write_text(cactus_csv(records))
+
+    solved = {
+        configuration: sum(
+            1 for r in records
+            if r.configuration == configuration and r.solved)
+        for configuration in
+        ("pact_xor", "pact_shift", "pact_prime", "cdm")
+    }
+    # The xor curve must dominate: most instances solved.
+    assert solved["pact_xor"] == max(solved.values())

@@ -1,0 +1,82 @@
+"""Section III-E ablation: why the hash family matters.
+
+Measures, per family, the three costs the paper discusses:
+
+* CNF size added by one hash constraint (bit-level vs bitvector ops,
+  number of constraints, required bitwidth);
+* solver work (conflicts) to count one hashed cell;
+* wall-clock per cell count.
+
+Expected shape: xor adds O(1) native rows and near-zero clauses;
+shift adds multiplier circuits; prime adds multiplier + modulo circuits
+(the largest).
+"""
+
+import random
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core.cells import CallCounter, saturating_count
+from repro.core.hashes import generate_hash
+from repro.harness.report import format_table
+from repro.smt import SmtSolver, bv_ult, bv_val, bv_var
+from repro.utils.deadline import Deadline
+
+WIDTH = 12
+_rows = []
+
+
+def _fresh_solver():
+    solver = SmtSolver()
+    x = bv_var(f"ab_x{WIDTH}", WIDTH)
+    solver.assert_term(bv_ult(x, bv_val((1 << WIDTH) - 37, WIDTH)))
+    bits = solver.ensure_bits(x)
+    return solver, x, bits
+
+
+@pytest.mark.parametrize("family", ["xor", "shift", "prime"])
+def test_hash_cost(benchmark, family):
+    solver, x, bits = _fresh_solver()
+    rng = random.Random(5)
+    constraint = generate_hash([x], 4, family, rng)
+
+    clauses_before = solver.sat.num_clauses()
+    xors_before = len(solver.sat.xor.rows)
+    solver.push()
+    constraint.assert_into(solver, bits)
+    clauses_added = solver.sat.num_clauses() - clauses_before
+    xors_added = len(solver.sat.xor.rows) - xors_before
+    solver.pop()
+
+    def count_cell():
+        solver.push()
+        constraint.assert_into(solver, bits)
+        calls = CallCounter()
+        result = saturating_count(solver, [x], 74, Deadline(30), calls)
+        solver.pop()
+        return result, calls
+
+    (result, calls) = benchmark.pedantic(count_cell, rounds=1,
+                                         iterations=1)
+    conflicts = solver.sat.stats["conflicts"]
+    _rows.append([family, constraint.partitions, clauses_added,
+                  xors_added, calls.solver_calls, conflicts])
+
+
+def test_ablation_artifact(benchmark, results_dir):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert _rows, "family benches must run first"
+    table = format_table(
+        ["family", "partitions", "CNF clauses/hash", "native XOR rows",
+         "oracle calls/cell", "total conflicts"],
+        _rows, title="Section III-E hash-family ablation (width "
+                     f"{WIDTH} projection)")
+    emit(results_dir, "hash_ablation.txt", table)
+    by_family = {row[0]: row for row in _rows}
+    # Paper's qualitative claims: xor needs no CNF clauses (native rows);
+    # word-level families blast real circuitry, prime the biggest.
+    assert by_family["xor"][2] == 0
+    assert by_family["xor"][3] >= 1
+    assert by_family["shift"][2] > 0
+    assert by_family["prime"][2] > by_family["shift"][2]

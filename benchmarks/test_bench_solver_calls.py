@@ -1,0 +1,52 @@
+"""Section III-D: pact makes O(log |S|) SMT calls per iteration.
+
+Sweeps the projection width |S| and records oracle calls per median
+iteration; the growth must be logarithmic-ish (calls grow by a bounded
+increment while |S| doubles), not linear.
+"""
+
+import math
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core import PactConfig, pact_count
+from repro.harness.report import format_table
+from repro.smt import bv_ult, bv_val, bv_var
+
+WIDTHS = (8, 16, 24)
+_rows = []
+
+
+def _count(width: int):
+    x = bv_var(f"lg_x{width}", width)
+    # Keep the count dense so every width saturates and must hash.
+    bound = (1 << width) - (1 << (width - 3))
+    config = PactConfig(family="xor", seed=9, iteration_override=2,
+                        timeout=150, epsilon=1.6)
+    return pact_count([bv_ult(x, bv_val(bound, width))], [x], config)
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+def test_calls_vs_projection_size(benchmark, width):
+    result = benchmark.pedantic(lambda: _count(width), rounds=1,
+                                iterations=1)
+    assert result.solved
+    per_iteration = result.solver_calls / max(1, result.iterations)
+    _rows.append([width, result.solver_calls, result.iterations,
+                  f"{per_iteration:.1f}",
+                  f"{per_iteration / math.log2(width):.1f}"])
+
+
+def test_logarithmic_shape(benchmark, results_dir):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert len(_rows) == len(WIDTHS), "width benches must run first"
+    table = format_table(
+        ["|S| bits", "oracle calls", "iterations", "calls/iteration",
+         "calls/iter/log2|S|"],
+        _rows, title="Section III-D: oracle calls vs projection size")
+    emit(results_dir, "solver_calls.txt", table)
+    per_iter = [float(row[3]) for row in _rows]
+    # |S| grows 4x (8 -> 32); logarithmic growth means the per-iteration
+    # calls grow by far less than 4x.
+    assert per_iter[-1] < per_iter[0] * 3.0

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Quickstart: approximate projected counting in five minutes.
+
+Builds a small hybrid formula (bit-vectors + reals), counts its projected
+solutions exactly with enum, then approximately with pact under all three
+hash families, and shows the observed error against the (eps, delta)
+guarantee.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import count_projected, exact_count
+from repro.smt import (
+    Implies, bv_ult, bv_val, bv_var, real_lt, real_val, real_var,
+)
+from repro.utils.stats import relative_error
+
+
+def main() -> None:
+    # A hybrid formula: an 8-bit configuration word x and a continuous
+    # "temperature" t.  We count configurations x for which SOME
+    # temperature in (0, 50) is admissible.
+    x = bv_var("x", 8)
+    t = real_var("t")
+    formula = [
+        bv_ult(x, bv_val(200, 8)),                 # x in [0, 200)
+        real_lt(real_val(0), t),                   # 0 < t < 50
+        real_lt(t, real_val(50)),
+        # Low configurations need a cool system: x < 64 -> t < 10.
+        Implies(bv_ult(x, bv_val(64, 8)), real_lt(t, real_val(10))),
+    ]
+
+    exact = exact_count(formula, [x])
+    print(f"enum (exact)          : {exact.estimate} projected models "
+          f"({exact.solver_calls} solver calls)")
+
+    for family in ("xor", "prime", "shift"):
+        result = count_projected(formula, [x], epsilon=0.8, delta=0.2,
+                                 family=family, seed=42)
+        error = relative_error(exact.estimate, result.estimate)
+        print(f"pact_{family:<6} (eps=0.8) : {result.estimate:>4}  "
+              f"error={error:.3f}  calls={result.solver_calls}  "
+              f"time={result.time_seconds:.2f}s")
+
+    print("\nThe theoretical bound allows error <= 0.8; pact typically "
+          "sits far below it (paper Fig. 2).")
+
+
+if __name__ == "__main__":
+    main()

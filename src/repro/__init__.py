@@ -1,0 +1,37 @@
+"""repro: a reproduction of "Approximate SMT Counting Beyond Discrete
+Domains" (Shaw & Meel, DAC 2025).
+
+The package provides **pact**, an (epsilon, delta)-approximate projected
+model counter for hybrid SMT formulas, plus the entire substrate it needs
+(CDCL SAT solver with native XOR reasoning, bit-blasting SMT solver over
+QF_ABVFPLRA, SMT-LIB front end), the CDM baseline, an exact enumeration
+counter, benchmark generators for the paper's six logics, and the harness
+that regenerates every table and figure.  See DESIGN.md for the map.
+
+Typical use::
+
+    from repro import count_projected
+    from repro.smt import bv_var, bv_val, bv_ult
+
+    x = bv_var("x", 8)
+    result = count_projected([bv_ult(x, bv_val(100, 8))], [x],
+                             epsilon=0.8, delta=0.2, family="xor")
+    print(result.estimate)
+"""
+
+from repro.core import (
+    CountResult, PactConfig, cdm_count, count_projected, exact_count,
+    pact_count,
+)
+from repro.errors import (
+    CounterError, ParseError, ReproError, SolverTimeoutError,
+    UnsupportedFeatureError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CountResult", "CounterError", "PactConfig", "ParseError",
+    "ReproError", "SolverTimeoutError", "UnsupportedFeatureError",
+    "cdm_count", "count_projected", "exact_count", "pact_count",
+]

@@ -1,0 +1,18 @@
+"""Synthetic benchmark generation for the paper's six logics.
+
+The paper evaluates on 3,119 SMT-Lib 2023 instances over QF_ABV, QF_BVFP,
+QF_UFBV, QF_BVFPLRA, QF_ABVFP and QF_ABVFPLRA.  SMT-Lib is not available
+offline, so this package generates seeded synthetic instances with the
+same logic mix, cluster structure (instances differing only in
+index-level parameters) and selection methodology (satisfiable within a
+budget; solution-count floor; at most five instances per cluster) — see
+DESIGN.md substitution 2.
+
+Some templates carry analytically known projected counts
+(``Instance.known_count``), which the accuracy experiment (Fig. 2) needs.
+"""
+
+from repro.benchgen.spec import Instance
+from repro.benchgen.suite import LOGICS, build_suite, select_benchmarks
+
+__all__ = ["Instance", "LOGICS", "build_suite", "select_benchmarks"]

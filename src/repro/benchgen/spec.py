@@ -1,0 +1,41 @@
+"""The benchmark instance record."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.smt.printer import write_script
+from repro.smt.terms import Term
+
+
+@dataclass
+class Instance:
+    """One generated benchmark instance.
+
+    ``cluster`` groups near-identical instances (the paper samples at most
+    five per cluster).  ``known_count`` is the analytic projected count
+    when the template admits one, else None (ground truth then requires
+    the enum counter).  ``difficulty`` is a rough 1-3 scale used by the
+    harness presets.
+    """
+
+    name: str
+    logic: str
+    cluster: str
+    assertions: list[Term]
+    projection: list[Term]
+    known_count: int | None = None
+    difficulty: int = 1
+    seed: int = 0
+
+    def to_smtlib(self) -> str:
+        """Serialise to SMT-LIB (with the :projected-vars extension)."""
+        return write_script(self.assertions, logic=self.logic,
+                            projection=self.projection)
+
+    def projection_bits(self) -> int:
+        return sum(var.sort.width for var in self.projection)
+
+    def __repr__(self) -> str:
+        return (f"Instance({self.name}, {self.logic}, "
+                f"|S|={self.projection_bits()} bits)")

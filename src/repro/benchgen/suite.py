@@ -1,0 +1,95 @@
+"""Suite assembly with the paper's selection methodology (section IV).
+
+The paper: start from all instances of the six logics, drop instances
+whose solution count is very small (< 500) or whose satisfiability is
+already hard (no sat answer within 5 s), and keep at most five benchmarks
+per cluster.  :func:`select_benchmarks` applies the same pipeline to the
+synthetic pool; thresholds are parameters so scaled presets can shrink
+them proportionally.
+"""
+
+from __future__ import annotations
+
+from repro.benchgen.generators import GENERATORS
+from repro.benchgen.spec import Instance
+from repro.errors import SolverTimeoutError
+from repro.smt.solver import SmtSolver
+from repro.utils.deadline import Deadline
+
+LOGICS = ("QF_ABV", "QF_BVFP", "QF_UFBV", "QF_BVFPLRA", "QF_ABVFP",
+          "QF_ABVFPLRA")
+
+
+def build_suite(per_logic: int, base_seed: int = 0,
+                widths: tuple[int, ...] = (9, 11, 13, 16)) -> list[Instance]:
+    """Generate the raw instance pool: ``per_logic`` instances per logic,
+    cycling through projection widths (clusters form per width)."""
+    pool: list[Instance] = []
+    for logic in LOGICS:
+        generator = GENERATORS[logic]
+        for index in range(per_logic):
+            width = widths[index % len(widths)]
+            difficulty = 1 + (index % 3)
+            pool.append(generator(base_seed * 10_000 + index,
+                                  width=width, difficulty=difficulty))
+    return pool
+
+
+def is_satisfiable_within(instance: Instance, budget: float) -> bool:
+    """The paper's sat-within-budget filter (5 s on their hardware)."""
+    solver = SmtSolver()
+    try:
+        solver.assert_all(instance.assertions)
+        return solver.check(Deadline(budget)) is True
+    except SolverTimeoutError:
+        return False
+
+
+def select_benchmarks(pool: list[Instance], min_count: int = 500,
+                      max_per_cluster: int = 5,
+                      sat_budget: float | None = 2.0) -> list[Instance]:
+    """Apply the paper's three filters, in their order.
+
+    1. drop instances with very small solution counts (< ``min_count``);
+    2. drop instances not satisfiable within ``sat_budget`` seconds;
+    3. keep at most ``max_per_cluster`` per cluster.
+    """
+    selected: list[Instance] = []
+    cluster_counts: dict[str, int] = {}
+    for instance in pool:
+        if (instance.known_count is not None
+                and instance.known_count < min_count):
+            continue
+        if cluster_counts.get(instance.cluster, 0) >= max_per_cluster:
+            continue
+        if sat_budget is not None and not is_satisfiable_within(
+                instance, sat_budget):
+            continue
+        cluster_counts[instance.cluster] = (
+            cluster_counts.get(instance.cluster, 0) + 1)
+        selected.append(instance)
+    return selected
+
+
+def accuracy_pool(per_logic: int = 4, base_seed: int = 77,
+                  low: int = 100, high: int = 500) -> list[Instance]:
+    """Instances with known counts in [low, high] for the Fig. 2 study.
+
+    Mirrors the paper's accuracy set: instances whose exact count is
+    known (there via enum or small counts; here analytically) and lies in
+    the [100, 500] band.
+    """
+    instances: list[Instance] = []
+    attempt = 0
+    while len(instances) < per_logic * len(LOGICS) and attempt < 4000:
+        logic = LOGICS[attempt % len(LOGICS)]
+        width = 9 + (attempt // len(LOGICS)) % 3
+        candidate = GENERATORS[logic](base_seed * 100 + attempt,
+                                      width=width)
+        attempt += 1
+        if candidate.known_count is None:
+            continue
+        if low <= candidate.known_count <= high:
+            if sum(1 for i in instances if i.logic == logic) < per_logic:
+                instances.append(candidate)
+    return instances

@@ -1,0 +1,208 @@
+"""Command-line interface.
+
+Subcommands::
+
+    pact count FILE.smt2 [--family xor] [--epsilon 0.8] [--delta 0.2]
+                         [--project x,y] [--timeout T] [--seed N]
+    pact enum FILE.smt2  [--project x,y] [--timeout T] [--limit N]
+    pact generate --logic QF_BVFP --out DIR [--count N] [--width W]
+    pact table1   [--preset smoke|laptop|paper] [--out DIR]
+    pact cactus   [--preset ...] [--out DIR]
+    pact accuracy [--preset ...] [--out DIR]
+
+``FILE.smt2`` may declare the projection set via
+``(set-info :projected-vars (x y))``; ``--project`` overrides it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro.benchgen.generators import GENERATORS
+from repro.core import cdm_count, count_projected, exact_count
+from repro.errors import ReproError
+from repro.harness.accuracy import accuracy_csv, accuracy_plot, run_accuracy
+from repro.harness.cactus import cactus_csv, cactus_plot, cactus_table
+from repro.harness.presets import Preset
+from repro.harness.table1 import run_table1
+from repro.smt.parser import parse_script
+
+
+def _load(path: str, project: str | None):
+    script = parse_script(pathlib.Path(path).read_text())
+    projection = script.projection
+    if project:
+        names = [name.strip() for name in project.split(",")]
+        projection = []
+        for name in names:
+            if name not in script.declarations:
+                raise ReproError(f"projected variable {name!r} undeclared")
+            projection.append(script.declarations[name])
+    if not projection:
+        raise ReproError(
+            "no projection set: pass --project or add "
+            "(set-info :projected-vars (...)) to the script")
+    return script.assertions, projection
+
+
+def _cmd_count(args) -> int:
+    assertions, projection = _load(args.file, args.project)
+    if args.family == "cdm":
+        result = cdm_count(assertions, projection, epsilon=args.epsilon,
+                           delta=args.delta, seed=args.seed,
+                           timeout=args.timeout)
+    else:
+        result = count_projected(
+            assertions, projection, epsilon=args.epsilon,
+            delta=args.delta, family=args.family, seed=args.seed,
+            timeout=args.timeout)
+    if result.solved:
+        kind = "exact" if result.exact else "approximate"
+        print(f"s {kind} {result.estimate}")
+        print(f"c solver_calls {result.solver_calls} "
+              f"time {result.time_seconds:.2f}s family {result.family}")
+        return 0
+    print(f"s {result.status}")
+    return 1
+
+
+def _cmd_enum(args) -> int:
+    assertions, projection = _load(args.file, args.project)
+    result = exact_count(assertions, projection, timeout=args.timeout,
+                         limit=args.limit)
+    if result.solved:
+        print(f"s exact {result.estimate}")
+        return 0
+    print(f"s {result.status}")
+    return 1
+
+
+def _cmd_generate(args) -> int:
+    generator = GENERATORS.get(args.logic)
+    if generator is None:
+        print(f"unknown logic {args.logic}; pick from "
+              f"{sorted(GENERATORS)}", file=sys.stderr)
+        return 2
+    out = pathlib.Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    for index in range(args.count):
+        instance = generator(args.seed + index, width=args.width)
+        path = out / f"{instance.name}.smt2"
+        path.write_text(instance.to_smtlib())
+        print(f"{path}  (known count: {instance.known_count})")
+    return 0
+
+
+def _experiment(args, runner) -> int:
+    preset = Preset.by_name(args.preset)
+    out = pathlib.Path(args.out) if args.out else None
+
+    def progress(record):
+        status = "ok" if record.solved else record.status
+        print(f"  [{record.configuration:>10}] {record.instance:<32} "
+              f"{status:>8} {record.time_seconds:6.2f}s", flush=True)
+
+    return runner(preset, out, progress if args.verbose else None)
+
+
+def _run_table1(preset, out, progress) -> int:
+    records, table = run_table1(preset, progress=progress)
+    print(table)
+    print()
+    print(cactus_table(records))
+    if out:
+        out.mkdir(parents=True, exist_ok=True)
+        (out / "table1.txt").write_text(table + "\n")
+        (out / "fig1_cactus.csv").write_text(cactus_csv(records))
+        (out / "fig1_cactus.txt").write_text(
+            cactus_table(records) + "\n\n" + cactus_plot(records) + "\n")
+        print(f"\nwrote {out}/table1.txt, fig1_cactus.csv, fig1_cactus.txt")
+    return 0
+
+
+def _run_cactus(preset, out, progress) -> int:
+    records, _ = run_table1(preset, progress=progress)
+    print(cactus_table(records))
+    print()
+    print(cactus_plot(records))
+    if out:
+        out.mkdir(parents=True, exist_ok=True)
+        (out / "fig1_cactus.csv").write_text(cactus_csv(records))
+    return 0
+
+
+def _run_accuracy(preset, out, progress) -> int:
+    records, table = run_accuracy(preset, progress=progress)
+    print(table)
+    print()
+    print(accuracy_plot(records, preset.epsilon))
+    if out:
+        out.mkdir(parents=True, exist_ok=True)
+        (out / "fig2_accuracy.csv").write_text(accuracy_csv(records))
+        (out / "fig2_accuracy.txt").write_text(table + "\n")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pact",
+        description="Approximate SMT counting beyond discrete domains "
+                    "(DAC 2025 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    count = sub.add_parser("count", help="approximate projected count")
+    count.add_argument("file")
+    count.add_argument("--family", default="xor",
+                       choices=["xor", "prime", "shift", "cdm"])
+    count.add_argument("--epsilon", type=float, default=0.8)
+    count.add_argument("--delta", type=float, default=0.2)
+    count.add_argument("--seed", type=int, default=1)
+    count.add_argument("--timeout", type=float, default=None)
+    count.add_argument("--project", default=None,
+                       help="comma-separated projection variables")
+    count.set_defaults(handler=_cmd_count)
+
+    enum = sub.add_parser("enum", help="exact count by enumeration")
+    enum.add_argument("file")
+    enum.add_argument("--timeout", type=float, default=None)
+    enum.add_argument("--limit", type=int, default=None)
+    enum.add_argument("--project", default=None)
+    enum.set_defaults(handler=_cmd_enum)
+
+    generate = sub.add_parser("generate",
+                              help="emit synthetic .smt2 benchmarks")
+    generate.add_argument("--logic", required=True)
+    generate.add_argument("--out", required=True)
+    generate.add_argument("--count", type=int, default=5)
+    generate.add_argument("--width", type=int, default=10)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.set_defaults(handler=_cmd_generate)
+
+    for name, runner, help_text in (
+            ("table1", _run_table1, "Table I: instances counted per logic"),
+            ("cactus", _run_cactus, "Fig. 1: cactus plot"),
+            ("accuracy", _run_accuracy, "Fig. 2: observed error")):
+        experiment = sub.add_parser(name, help=help_text)
+        experiment.add_argument("--preset", default="smoke",
+                                choices=["smoke", "laptop", "paper"])
+        experiment.add_argument("--out", default=None)
+        experiment.add_argument("--verbose", action="store_true")
+        experiment.set_defaults(
+            handler=lambda args, r=runner: _experiment(args, r))
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,68 @@
+"""SaturatingCounter (section III-B).
+
+Enumerates solutions of the formula in the solver's current frame,
+projected onto S, by blocking each projected model, until either the
+threshold is reached (the cell is *saturated*, returned as
+:data:`SATURATED`) or the cell is exhausted (exact cell count returned).
+
+Blocking clauses are confined to a nested frame so the cell's parent
+formula is untouched afterwards — this is pact's incremental-solving
+discipline (section III-F).
+"""
+
+from __future__ import annotations
+
+from repro.smt.solver import SmtSolver
+from repro.smt.terms import Term
+from repro.utils.deadline import Deadline
+
+
+class _Saturated:
+    """Singleton marker for "cell has >= thresh solutions" (the paper's T)."""
+
+    def __repr__(self) -> str:
+        return "SATURATED"
+
+
+SATURATED = _Saturated()
+
+
+class CallCounter:
+    """Counts oracle calls for the O(log |S|) measurement (section III-D)."""
+
+    def __init__(self):
+        self.solver_calls = 0
+        self.sat_answers = 0
+
+    def record(self, is_sat: bool) -> None:
+        self.solver_calls += 1
+        if is_sat:
+            self.sat_answers += 1
+
+
+def saturating_count(solver: SmtSolver, projection: list[Term],
+                     thresh: int, deadline: Deadline,
+                     calls: CallCounter):
+    """Count projected solutions in the current frame, saturating at
+    ``thresh``.  Returns an int < thresh, or :data:`SATURATED`."""
+    bits_of = [solver.ensure_bits(var) for var in projection]
+    solver.push()
+    try:
+        count = 0
+        while count < thresh:
+            deadline.check()
+            is_sat = solver.check(deadline)
+            calls.record(is_sat)
+            if not is_sat:
+                return count
+            count += 1
+            blocking = []
+            for var, bits in zip(projection, bits_of):
+                value = solver.bv_value(var)
+                for position, literal in enumerate(bits):
+                    blocking.append(
+                        -literal if (value >> position) & 1 else literal)
+            solver.add_clause_lits(blocking)
+        return SATURATED
+    finally:
+        solver.pop()

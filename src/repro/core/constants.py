@@ -1,0 +1,28 @@
+"""Algorithm 3: GetConstants.
+
+The values come from the correctness proof of hashing-based counting
+(Chakraborty–Meel–Vardi line of work):
+
+    thresh = 1 + 9.84 * (1 + eps/(1+eps)) * (1 + 1/eps)^2
+
+    numIt  = ceil(17 * ln(3/delta)),  l = 1   for H_xor
+    numIt  = ceil(23 * ln(3/delta)),  l = 4   for H_prime / H_shift
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def get_constants(epsilon: float, delta: float,
+                  family: str) -> tuple[int, int, int]:
+    """Return (thresh, numIt, l) per Algorithm 3."""
+    thresh = 1 + math.ceil(
+        9.84 * (1 + epsilon / (1 + epsilon)) * (1 + 1 / epsilon) ** 2)
+    if family == "xor":
+        iterations = math.ceil(17 * math.log(3 / delta))
+        slice_width = 1
+    else:
+        iterations = math.ceil(23 * math.log(3 / delta))
+        slice_width = 4
+    return thresh, max(1, iterations), slice_width

@@ -1,0 +1,140 @@
+"""The three pairwise-independent hash families of section III-A.
+
+Each generated hash is a constraint ``h(S) = alpha`` that partitions the
+projected solution space into ``partitions`` cells:
+
+* **H_xor** (Carter–Wegman): a random subset of the projection *bits*
+  xored against a random target bit.  Partitions = 2.  Asserted directly
+  into the native XOR engine (this is the CryptoMiniSat-style advantage
+  the paper measures).
+* **H_prime** (multiply-mod-prime, Thorup): for p the smallest prime
+  > 2^l, the constraint (sum a_i x_i + b) mod p = alpha over the width-l
+  slices.  Partitions = p.  Word-level: becomes multiplier/divider
+  circuits when blasted.
+* **H_shift** (Dietzfelbinger multiply-shift): (sum a_i x_i + b) computed
+  modulo 2^(2l) with the result's top l bits compared against alpha.
+  Partitions = 2^l.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.core.slicing import slice_projection, total_bits
+from repro.errors import CounterError
+from repro.smt.solver import SmtSolver
+from repro.smt.terms import (
+    Equals, Term, bv_add, bv_extract, bv_mul, bv_urem, bv_val,
+    bv_zero_extend,
+)
+from repro.utils.primes import next_prime
+
+
+class HashConstraint:
+    """One generated hash function, ready to assert into a solver."""
+
+    def __init__(self, family: str, partitions: int, width: int,
+                 term: Term | None = None,
+                 xor_bit_positions: list[int] | None = None,
+                 xor_rhs: bool = False):
+        self.family = family
+        self.partitions = partitions
+        self.width = width  # the l this hash was generated with
+        self.term = term
+        self.xor_bit_positions = xor_bit_positions
+        self.xor_rhs = xor_rhs
+
+    def assert_into(self, solver: SmtSolver,
+                    projection_bits: list[int]) -> None:
+        """Assert this hash in the solver's current frame.
+
+        ``projection_bits`` is the flat list of SAT literals of all
+        projection variables (from :meth:`SmtSolver.ensure_bits`), used by
+        the bit-level XOR family.
+        """
+        if self.family == "xor":
+            chosen = [projection_bits[i] for i in self.xor_bit_positions]
+            if not chosen:
+                # Degenerate empty XOR: constraint is (0 = rhs).
+                if self.xor_rhs:
+                    solver.add_clause_lits([])  # unsatisfiable
+                return
+            solver.assert_xor_bits(chosen, self.xor_rhs)
+        else:
+            solver.assert_term(self.term)
+
+    def __repr__(self) -> str:
+        return (f"HashConstraint({self.family}, partitions="
+                f"{self.partitions})")
+
+
+def generate_hash(projection: list[Term], width: int, family: str,
+                  rng: random.Random) -> HashConstraint:
+    """GenerateHash: one random member of the chosen family.
+
+    ``width`` is the domain parameter l: H_shift has range exactly 2^l,
+    H_prime the smallest prime > 2^l, H_xor ignores it (range 2).
+    """
+    if family == "xor":
+        return _generate_xor(projection, rng)
+    if family == "prime":
+        return _generate_prime(projection, width, rng)
+    if family == "shift":
+        return _generate_shift(projection, width, rng)
+    raise CounterError(f"unknown hash family {family!r}")
+
+
+def _generate_xor(projection: list[Term],
+                  rng: random.Random) -> HashConstraint:
+    bits = total_bits(projection)
+    positions = [i for i in range(bits) if rng.random() < 0.5]
+    rhs = rng.random() < 0.5
+    return HashConstraint("xor", partitions=2, width=1,
+                          xor_bit_positions=positions, xor_rhs=rhs)
+
+
+def _linear_combination(slices: list[Term], coefficients: list[int],
+                        offset: int, operand_width: int) -> Term:
+    """sum(a_i * x_i) + b over zero-extended slices at operand_width."""
+    total = bv_val(offset, operand_width)
+    for coefficient, piece in zip(coefficients, slices):
+        extended = bv_zero_extend(piece, operand_width - piece.sort.width)
+        product = bv_mul(extended, bv_val(coefficient, operand_width))
+        total = bv_add(total, product)
+    return total
+
+
+def _generate_prime(projection: list[Term], width: int,
+                    rng: random.Random) -> HashConstraint:
+    slices = slice_projection(projection, width)
+    prime = next_prime(1 << width)
+    coefficients = [rng.randrange(prime) for _ in slices]
+    offset = rng.randrange(prime)
+    alpha = rng.randrange(prime)
+    # Operand width: products < p * 2^w <= 2^(2w+1); the sum of d terms
+    # adds ceil(log2(d+1)) bits — the "2w + d" cost the paper discusses.
+    operand_width = (2 * width + 1
+                     + max(1, math.ceil(math.log2(len(slices) + 2))))
+    combination = _linear_combination(slices, coefficients, offset,
+                                      operand_width)
+    remainder = bv_urem(combination, bv_val(prime, operand_width))
+    term = Equals(remainder, bv_val(alpha, operand_width))
+    return HashConstraint("prime", partitions=prime, width=width,
+                          term=term)
+
+
+def _generate_shift(projection: list[Term], width: int,
+                    rng: random.Random) -> HashConstraint:
+    slices = slice_projection(projection, width)
+    operand_width = 2 * width  # the paper's "bitvector of width 2w"
+    coefficients = [rng.randrange(1 << operand_width) for _ in slices]
+    offset = rng.randrange(1 << operand_width)
+    alpha = rng.randrange(1 << width)
+    combination = _linear_combination(slices, coefficients, offset,
+                                      operand_width)
+    # Take bits [2w - l, 2w): the top l bits of the mod-2^(2w) sum.
+    top = bv_extract(combination, operand_width - 1, operand_width - width)
+    term = Equals(top, bv_val(alpha, width))
+    return HashConstraint("shift", partitions=1 << width, width=width,
+                          term=term)

@@ -1,0 +1,181 @@
+"""Algorithm 1 (pact) and Algorithm 2 (FixLastHash).
+
+The main loop divides the projected solution space into cells with random
+hash constraints, finds the saturation boundary with the galloping search,
+sizes the boundary cell exactly, scales back up by the partition product,
+and takes the median over numIt iterations for the (epsilon, delta)
+guarantee.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+from repro.core.cells import SATURATED, CallCounter, saturating_count
+from repro.core.config import PactConfig
+from repro.core.constants import get_constants
+from repro.core.hashes import generate_hash
+from repro.core.result import CountResult
+from repro.core.search import find_boundary
+from repro.core.slicing import total_bits
+from repro.errors import CounterError, ResourceBudgetError, SolverTimeoutError
+from repro.smt.solver import SmtSolver
+from repro.smt.terms import Term
+from repro.utils.deadline import Deadline
+from repro.utils.rng import SeedSequence
+from repro.utils.stats import median
+
+
+def pact_count(assertions: list[Term], projection: list[Term],
+               config: PactConfig,
+               deadline: Deadline | None = None) -> CountResult:
+    """Run pact on ``assertions`` with projection set ``projection``."""
+    start = time.monotonic()
+    if deadline is None:
+        deadline = Deadline(config.timeout)
+    if not projection:
+        raise CounterError("projection set must not be empty")
+    for var in projection:
+        if not (var.is_var() and var.sort.is_bv()):
+            raise CounterError(
+                "projection variables must be bit-vector variables "
+                "(integer projections are future work, paper section V)")
+
+    thresh, num_iterations, slice_width = get_constants(
+        config.epsilon, config.delta, config.family)
+    if config.iteration_override is not None:
+        num_iterations = config.iteration_override
+
+    seeds = SeedSequence(config.seed, f"pact/{config.family}")
+    calls = CallCounter()
+
+    def finish(estimate, status="ok", exact=False, iterations=0,
+               estimates=()):
+        return CountResult(
+            estimate=estimate, status=status, exact=exact,
+            solver_calls=calls.solver_calls, sat_answers=calls.sat_answers,
+            iterations=iterations, time_seconds=time.monotonic() - start,
+            family=config.family, estimates=list(estimates))
+
+    try:
+        solver = SmtSolver()
+        solver.assert_all(assertions)
+        flat_bits: list[int] = []
+        for var in projection:
+            flat_bits.extend(solver.ensure_bits(var))
+
+        # Line 3-4: if the whole projected space is small, count exactly.
+        initial = saturating_count(solver, projection, thresh, deadline,
+                                   calls)
+        if initial is not SATURATED:
+            return finish(initial, exact=True)
+
+        bits = total_bits(projection)
+        if config.family == "xor":
+            max_index = bits
+        else:
+            max_index = math.ceil(bits / slice_width) + 2
+
+        estimates: list[int] = []
+        previous_boundary = 1
+        for iteration in range(num_iterations):
+            iteration_seeds = seeds.child(f"iteration{iteration}")
+            hash_cache: dict[int, object] = {}
+
+            def get_hash(index: int):
+                constraint = hash_cache.get(index)
+                if constraint is None:
+                    constraint = generate_hash(
+                        projection, slice_width, config.family,
+                        iteration_seeds.stream(f"hash{index}"))
+                    hash_cache[index] = constraint
+                return constraint
+
+            def count_at(index: int):
+                solver.push()
+                try:
+                    for j in range(1, index + 1):
+                        get_hash(j).assert_into(solver, flat_bits)
+                    return saturating_count(solver, projection, thresh,
+                                            deadline, calls)
+                finally:
+                    solver.pop()
+
+            boundary, cell_count, _ = find_boundary(
+                count_at, previous_boundary, max_index)
+            previous_boundary = boundary
+
+            if config.family == "xor":
+                # One XOR halves the space; FixLastHash is a no-op
+                # (Algorithm 2, line 1).
+                estimate = cell_count * (1 << boundary)
+            else:
+                cell_count, partition_product = _fix_last_hash(
+                    solver, projection, flat_bits, get_hash, boundary,
+                    cell_count, slice_width, thresh, deadline, calls,
+                    iteration_seeds, config.family)
+                estimate = cell_count * partition_product
+            estimates.append(estimate)
+
+        return finish(median(estimates), iterations=num_iterations,
+                      estimates=estimates)
+    except SolverTimeoutError:
+        return finish(None, status="timeout",
+                      iterations=len(locals().get("estimates", [])))
+    except ResourceBudgetError:
+        return finish(None, status="budget")
+
+
+def _fix_last_hash(solver, projection, flat_bits, get_hash, boundary,
+                   cell_count, slice_width, thresh, deadline, calls,
+                   iteration_seeds, family):
+    """Algorithm 2: replace the last hash with progressively coarser ones.
+
+    The prefix H[boundary-1] stays; the last hash is re-generated at
+    halved domain widths while the refined cell stays below thresh.  The
+    coarsest still-small configuration maximises the cell (best accuracy).
+    Returns (cell_count, total partition product).
+    """
+    prefix_product = 1
+    for j in range(1, boundary):
+        prefix_product *= get_hash(j).partitions
+    best_count = cell_count
+    best_partitions = get_hash(boundary).partitions
+
+    width = slice_width
+    while width > 1:
+        width //= 2
+        replacement = generate_hash(
+            projection, width, family,
+            iteration_seeds.stream(f"fix{width}"))
+        solver.push()
+        try:
+            for j in range(1, boundary):
+                get_hash(j).assert_into(solver, flat_bits)
+            replacement.assert_into(solver, flat_bits)
+            refined = saturating_count(solver, projection, thresh,
+                                       deadline, calls)
+        finally:
+            solver.pop()
+        if refined is SATURATED:
+            break
+        best_count = refined
+        best_partitions = replacement.partitions
+    return best_count, prefix_product * best_partitions
+
+
+def count_projected(assertions, projection, epsilon: float = 0.8,
+                    delta: float = 0.2, family: str = "xor",
+                    seed: int = 1, timeout: float | None = None,
+                    iteration_override: int | None = None) -> CountResult:
+    """The convenience front door: count with (epsilon, delta) guarantees.
+
+    See :class:`repro.core.config.PactConfig` for parameter semantics.
+    """
+    if isinstance(assertions, Term):
+        assertions = [assertions]
+    config = PactConfig(epsilon=epsilon, delta=delta, family=family,
+                        seed=seed, timeout=timeout,
+                        iteration_override=iteration_override)
+    return pact_count(list(assertions), list(projection), config)

@@ -1,0 +1,38 @@
+"""Result record shared by all three counters (pact, CDM, enum)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CountResult:
+    """Outcome of a counting run.
+
+    ``status`` is "ok" (estimate valid), "timeout" or "error".
+    ``exact`` marks counts known exactly (the enum counter, or pact's
+    short-circuit when the whole space fits under thresh).
+    """
+
+    estimate: int | None
+    status: str = "ok"
+    exact: bool = False
+    solver_calls: int = 0
+    sat_answers: int = 0
+    iterations: int = 0
+    time_seconds: float = 0.0
+    family: str | None = None
+    detail: str = ""
+    estimates: list[int] = field(default_factory=list)
+
+    @property
+    def solved(self) -> bool:
+        return self.status == "ok" and self.estimate is not None
+
+    def __repr__(self) -> str:
+        if self.solved:
+            kind = "exact" if self.exact else "approx"
+            return (f"CountResult({kind} {self.estimate}, "
+                    f"calls={self.solver_calls}, "
+                    f"time={self.time_seconds:.2f}s)")
+        return f"CountResult({self.status}, time={self.time_seconds:.2f}s)"

@@ -1,0 +1,44 @@
+"""Bit-vector slicing for word-level hash functions (section III-A).
+
+Hash functions have a fixed domain width l, but projection variables have
+arbitrary widths, so each variable x of width w is cut into ceil(w/l)
+slices x(0), ..., x(ceil(w/l)-1) with x(i) = x[(i+1)*l - 1 : i*l] (the
+last slice may be narrower).  The hash is then applied to the vector of
+slices of *all* projection variables.
+"""
+
+from __future__ import annotations
+
+from repro.smt.terms import Term, bv_extract, bv_zero_extend
+
+
+def slice_variable(var: Term, width: int) -> list[Term]:
+    """Slices of ``var`` of the given width, LSB-slice first.
+
+    Narrow tails are zero-extended to exactly ``width`` bits so every
+    slice lives in the hash domain [2^width).
+    """
+    total = var.sort.width
+    slices = []
+    position = 0
+    while position < total:
+        high = min(position + width - 1, total - 1)
+        piece = bv_extract(var, high, position)
+        if piece.sort.width < width:
+            piece = bv_zero_extend(piece, width - piece.sort.width)
+        slices.append(piece)
+        position += width
+    return slices
+
+
+def slice_projection(projection: list[Term], width: int) -> list[Term]:
+    """All slices of all projection variables, in declaration order."""
+    out: list[Term] = []
+    for var in projection:
+        out.extend(slice_variable(var, width))
+    return out
+
+
+def total_bits(projection: list[Term]) -> int:
+    """Total number of projection bits |S| (as a bit count)."""
+    return sum(var.sort.width for var in projection)

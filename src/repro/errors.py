@@ -1,0 +1,50 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming errors such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SolverTimeoutError(ReproError):
+    """Raised when a solver or counter exceeds its wall-clock deadline."""
+
+
+class ResourceBudgetError(ReproError):
+    """Raised when a solver exceeds a non-time resource budget (conflicts)."""
+
+
+class UnsupportedFeatureError(ReproError):
+    """Raised for SMT features the reproduction deliberately omits.
+
+    DESIGN.md section 5 lists the omissions (FP division, non-RNE rounding
+    for arithmetic, integer projection variables, ...).
+    """
+
+
+class ParseError(ReproError):
+    """Raised on malformed SMT-LIB or DIMACS input."""
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class SortError(ReproError):
+    """Raised when a term is built from operands of incompatible sorts."""
+
+
+class ModelError(ReproError):
+    """Raised when a model is queried for a value it does not define."""
+
+
+class CounterError(ReproError):
+    """Raised when a counting algorithm is configured inconsistently."""

@@ -1,0 +1,15 @@
+"""The experiment harness: regenerates every table and figure.
+
+* :mod:`repro.harness.presets` — scale presets (paper / laptop / smoke);
+* :mod:`repro.harness.runner` — run counters over instance suites with
+  per-instance wall-clock budgets;
+* :mod:`repro.harness.table1` — Table I (instances counted per logic);
+* :mod:`repro.harness.cactus` — Fig. 1 (cactus plot data + ASCII render);
+* :mod:`repro.harness.accuracy` — Fig. 2 (observed error vs the bound);
+* :mod:`repro.harness.report` — text/CSV formatting.
+"""
+
+from repro.harness.presets import Preset
+from repro.harness.runner import RunRecord, run_configuration, run_matrix
+
+__all__ = ["Preset", "RunRecord", "run_configuration", "run_matrix"]

@@ -1,0 +1,59 @@
+"""Fig. 1: cactus plot — solve time vs number of instances solved.
+
+A point (i, t) on a configuration's curve means: i instances each solved
+within t seconds.  Curves further right/lower are better.  The
+reproduction target: the pact_xor curve dominates (more instances at
+every budget), CDM and the word-level families saturate early.
+"""
+
+from __future__ import annotations
+
+from repro.harness.report import ascii_plot, format_table, to_csv
+from repro.harness.runner import CONFIGURATIONS, RunRecord
+
+
+def cactus_series(records: list[RunRecord]
+                  ) -> dict[str, list[tuple[int, float]]]:
+    """configuration -> [(instances solved, cumulative-sorted time)]."""
+    series: dict[str, list[tuple[int, float]]] = {}
+    for configuration in CONFIGURATIONS:
+        times = sorted(
+            record.time_seconds for record in records
+            if record.configuration == configuration and record.solved)
+        series[configuration] = [
+            (index + 1, time) for index, time in enumerate(times)]
+    return series
+
+
+def cactus_table(records: list[RunRecord]) -> str:
+    series = cactus_series(records)
+    rows = []
+    for configuration in CONFIGURATIONS:
+        points = series[configuration]
+        solved = len(points)
+        slowest = points[-1][1] if points else float("nan")
+        total = sum(t for _, t in points)
+        rows.append([configuration, solved,
+                     f"{slowest:.2f}" if points else "-",
+                     f"{total:.2f}"])
+    return format_table(
+        ["configuration", "#solved", "max time (s)", "total time (s)"],
+        rows, title="Fig. 1 cactus summary")
+
+
+def cactus_plot(records: list[RunRecord]) -> str:
+    series = {
+        name: [(float(i), t) for i, t in points]
+        for name, points in cactus_series(records).items() if points
+    }
+    return ascii_plot(series, x_label="instances solved",
+                      y_label="runtime (s)")
+
+
+def cactus_csv(records: list[RunRecord]) -> str:
+    rows = []
+    for configuration, points in cactus_series(records).items():
+        for index, time in points:
+            rows.append([configuration, index, f"{time:.4f}"])
+    return to_csv(["configuration", "instances_solved", "time_seconds"],
+                  rows)

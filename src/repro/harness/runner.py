@@ -1,0 +1,91 @@
+"""Run counters over instance suites.
+
+The four configurations of the evaluation are pact with each hash family
+plus the CDM baseline; each (configuration, instance) pair gets an
+independent wall-clock budget, like the paper's one-core/8GB/3600s slots.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.benchgen.spec import Instance
+from repro.core import PactConfig, cdm_count, pact_count
+from repro.core.result import CountResult
+from repro.errors import ReproError
+from repro.harness.presets import Preset
+
+CONFIGURATIONS = ("pact_xor", "pact_prime", "pact_shift", "cdm")
+
+
+@dataclass
+class RunRecord:
+    """One (configuration, instance) outcome."""
+
+    configuration: str
+    instance: str
+    logic: str
+    solved: bool
+    estimate: int | None
+    known_count: int | None
+    time_seconds: float
+    solver_calls: int
+    status: str
+
+    @property
+    def relative_error(self) -> float | None:
+        from repro.utils.stats import relative_error
+        if not self.solved or not self.known_count:
+            return None
+        return relative_error(self.known_count, self.estimate)
+
+
+def run_configuration(configuration: str, instance: Instance,
+                      preset: Preset) -> RunRecord:
+    """Run one counter configuration on one instance."""
+    start = time.monotonic()
+    try:
+        result = _dispatch(configuration, instance, preset)
+    except ReproError as error:
+        result = CountResult(estimate=None, status="error",
+                             detail=str(error),
+                             time_seconds=time.monotonic() - start)
+    return RunRecord(
+        configuration=configuration, instance=instance.name,
+        logic=instance.logic, solved=result.solved,
+        estimate=result.estimate, known_count=instance.known_count,
+        time_seconds=result.time_seconds,
+        solver_calls=result.solver_calls, status=result.status)
+
+
+def _dispatch(configuration: str, instance: Instance,
+              preset: Preset) -> CountResult:
+    if configuration == "cdm":
+        return cdm_count(
+            instance.assertions, instance.projection,
+            epsilon=preset.epsilon, delta=preset.delta,
+            seed=preset.base_seed, timeout=preset.timeout,
+            iteration_override=preset.iteration_override)
+    if not configuration.startswith("pact_"):
+        raise ValueError(f"unknown configuration {configuration!r}")
+    family = configuration.split("_", 1)[1]
+    config = PactConfig(
+        epsilon=preset.epsilon, delta=preset.delta, family=family,
+        seed=preset.base_seed, timeout=preset.timeout,
+        iteration_override=preset.iteration_override)
+    return pact_count(instance.assertions, instance.projection, config)
+
+
+def run_matrix(instances: list[Instance], preset: Preset,
+               configurations=CONFIGURATIONS,
+               progress=None) -> list[RunRecord]:
+    """The full evaluation matrix: every configuration on every instance."""
+    records: list[RunRecord] = []
+    for instance in instances:
+        for configuration in configurations:
+            record = run_configuration(configuration, instance, preset)
+            records.append(record)
+            if progress is not None:
+                progress(record)
+    return records

@@ -1,0 +1,90 @@
+"""Table I: number of instances counted, per logic and configuration.
+
+Paper reference (3,119 SMT-Lib instances, 3600 s timeout):
+
+    Logic            CDM  pact_prime  pact_shift  pact_xor
+    QF_ABVFPLRA        -           -           -         1
+    QF_ABVFP           -           1           1         7
+    QF_ABV            11           -           -       284
+    QF_BVFPLRA         -           -           -        30
+    QF_BVFP           71          23          37       117
+    QF_UFBV            1           9           2        17
+    Total             83          33          40       456
+
+The reproduction target is the *shape*: pact_xor dominates every logic,
+CDM and the word-level families trail far behind (see DESIGN.md
+section 3).
+"""
+
+from __future__ import annotations
+
+from repro.benchgen import build_suite, select_benchmarks
+from repro.benchgen.suite import LOGICS
+from repro.harness.presets import Preset
+from repro.harness.report import format_table
+from repro.harness.runner import CONFIGURATIONS, RunRecord, run_matrix
+
+PAPER_TABLE1 = {
+    "QF_ABVFPLRA": {"cdm": 0, "pact_prime": 0, "pact_shift": 0,
+                    "pact_xor": 1},
+    "QF_ABVFP": {"cdm": 0, "pact_prime": 1, "pact_shift": 1,
+                 "pact_xor": 7},
+    "QF_ABV": {"cdm": 11, "pact_prime": 0, "pact_shift": 0,
+               "pact_xor": 284},
+    "QF_BVFPLRA": {"cdm": 0, "pact_prime": 0, "pact_shift": 0,
+                   "pact_xor": 30},
+    "QF_BVFP": {"cdm": 71, "pact_prime": 23, "pact_shift": 37,
+                "pact_xor": 117},
+    "QF_UFBV": {"cdm": 1, "pact_prime": 9, "pact_shift": 2,
+                "pact_xor": 17},
+}
+
+
+def solved_by_logic(records: list[RunRecord]) -> dict[str, dict[str, int]]:
+    """counts[logic][configuration] = instances solved."""
+    counts: dict[str, dict[str, int]] = {
+        logic: {c: 0 for c in CONFIGURATIONS} for logic in LOGICS}
+    for record in records:
+        if record.solved:
+            counts[record.logic][record.configuration] += 1
+    return counts
+
+
+def table1_rows(records: list[RunRecord]) -> list[list]:
+    counts = solved_by_logic(records)
+    per_logic_total: dict[str, int] = {}
+    for record in records:
+        if record.configuration == CONFIGURATIONS[0]:
+            per_logic_total[record.logic] = (
+                per_logic_total.get(record.logic, 0) + 1)
+    rows = []
+    totals = {c: 0 for c in CONFIGURATIONS}
+    for logic in LOGICS:
+        row = [f"{logic} ({per_logic_total.get(logic, 0)})"]
+        for configuration in ("cdm", "pact_prime", "pact_shift",
+                              "pact_xor"):
+            solved = counts[logic][configuration]
+            totals[configuration] += solved
+            row.append(solved if solved else "-")
+        rows.append(row)
+    rows.append(["Total",
+                 totals["cdm"], totals["pact_prime"],
+                 totals["pact_shift"], totals["pact_xor"]])
+    return rows
+
+
+def run_table1(preset: Preset, progress=None
+               ) -> tuple[list[RunRecord], str]:
+    """Run the Table I experiment; returns (records, formatted table)."""
+    pool = build_suite(per_logic=preset.instances_per_logic,
+                       base_seed=preset.base_seed)
+    instances = select_benchmarks(pool, min_count=preset.min_count,
+                                  sat_budget=preset.sat_budget)
+    records = run_matrix(instances, preset, progress=progress)
+    table = format_table(
+        ["Logic", "CDM", "pact_prime", "pact_shift", "pact_xor"],
+        table1_rows(records),
+        title=(f"Table I (preset={preset.name}, "
+               f"{len(instances)} instances, "
+               f"timeout={preset.timeout:g}s)"))
+    return records, table

@@ -1,0 +1,25 @@
+"""A CDCL SAT solver with native XOR-constraint reasoning.
+
+This package is the bottom of the reproduction stack.  The paper's pact runs
+on CVC5, whose SAT core (and, for XOR hash constraints, CryptoMiniSat-style
+Gauss-Jordan reasoning) does the heavy lifting; here the equivalent engine
+is implemented in pure Python:
+
+* :class:`repro.sat.solver.SatSolver` — conflict-driven clause learning with
+  two-watched-literal propagation, first-UIP learning, VSIDS branching,
+  phase saving, Luby restarts and activity-based clause-database reduction.
+* :class:`repro.sat.xor_engine.XorEngine` — parity constraints propagated
+  natively over bigint bitmasks, so an XOR hash constraint costs O(1) rows
+  instead of an exponential CNF expansion.
+* :mod:`repro.sat.dimacs` — DIMACS CNF reading/writing for debugging and
+  interop.
+
+Solver frames (:meth:`SatSolver.push` / :meth:`SatSolver.pop`) give the
+incremental discipline pact needs: hash constraints and blocking clauses
+live inside a frame and disappear when the cell count finishes.
+"""
+
+from repro.sat.solver import SatSolver
+from repro.sat.types import SAT, UNKNOWN, UNSAT
+
+__all__ = ["SAT", "UNSAT", "UNKNOWN", "SatSolver"]

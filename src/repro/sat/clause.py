@@ -1,0 +1,29 @@
+"""Clause representation for the CDCL solver."""
+
+from __future__ import annotations
+
+
+class Clause:
+    """A disjunction of literals.
+
+    ``lits[0]`` and ``lits[1]`` are the watched literals.  ``deleted``
+    supports lazy removal from watch lists (frames and clause-DB reduction
+    mark clauses deleted; propagation compacts watch lists as it visits
+    them).
+    """
+
+    __slots__ = ("lits", "learnt", "activity", "lbd", "deleted")
+
+    def __init__(self, lits: list[int], learnt: bool = False, lbd: int = 0):
+        self.lits = lits
+        self.learnt = learnt
+        self.activity = 0.0
+        self.lbd = lbd
+        self.deleted = False
+
+    def __len__(self) -> int:
+        return len(self.lits)
+
+    def __repr__(self) -> str:
+        kind = "learnt" if self.learnt else "orig"
+        return f"Clause({self.lits}, {kind})"

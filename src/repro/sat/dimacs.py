@@ -1,0 +1,97 @@
+"""DIMACS CNF reading and writing.
+
+Supports the standard ``p cnf`` header plus the CryptoMiniSat ``x`` row
+extension for XOR constraints (a line ``x1 2 -3 0`` asserts
+``x1 ^ x2 ^ x3 = 0`` i.e. the XOR of the listed literals is true; a leading
+negation flips the required parity, matching CryptoMiniSat semantics).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, TextIO
+
+from repro.errors import ParseError
+from repro.sat.solver import SatSolver
+
+
+def parse_dimacs(text: str) -> tuple[int, list[list[int]], list[tuple[list[int], bool]]]:
+    """Parse DIMACS text.
+
+    Returns ``(num_vars, clauses, xors)`` where each xor is
+    ``(variables, rhs)``.
+    """
+    num_vars = 0
+    clauses: list[list[int]] = []
+    xors: list[tuple[list[int], bool]] = []
+    declared = False
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            fields = line.split()
+            if len(fields) != 4 or fields[1] != "cnf":
+                raise ParseError(f"bad problem line: {line!r}", line_no)
+            num_vars = int(fields[2])
+            declared = True
+            continue
+        is_xor = line.startswith("x")
+        if is_xor:
+            line = line[1:]
+        try:
+            lits = [int(tok) for tok in line.split()]
+        except ValueError as exc:
+            raise ParseError(f"bad literal in {line!r}", line_no) from exc
+        if not lits or lits[-1] != 0:
+            raise ParseError("clause not terminated by 0", line_no)
+        lits = lits[:-1]
+        if not declared:
+            raise ParseError("clause before problem line", line_no)
+        for lit in lits:
+            if abs(lit) > num_vars:
+                raise ParseError(f"literal {lit} out of range", line_no)
+        if is_xor:
+            # CryptoMiniSat: "x" row lists literals whose XOR must be true;
+            # each negative literal flips the parity.
+            rhs = True
+            variables = []
+            for lit in lits:
+                if lit < 0:
+                    rhs = not rhs
+                variables.append(abs(lit))
+            xors.append((variables, rhs))
+        else:
+            clauses.append(lits)
+    return num_vars, clauses, xors
+
+
+def load_solver(text: str) -> SatSolver:
+    """Build a :class:`SatSolver` from DIMACS text."""
+    num_vars, clauses, xors = parse_dimacs(text)
+    solver = SatSolver()
+    solver.new_vars(num_vars)
+    for clause in clauses:
+        solver.add_clause(clause)
+    for variables, rhs in xors:
+        solver.add_xor(variables, rhs)
+    return solver
+
+
+def write_dimacs(num_vars: int, clauses: Iterable[Iterable[int]],
+                 xors: Iterable[tuple[list[int], bool]] = (),
+                 out: TextIO | None = None) -> str:
+    """Serialise to DIMACS; returns the text (and writes to ``out`` if given)."""
+    clause_list = [list(c) for c in clauses]
+    xor_list = list(xors)
+    lines = [f"p cnf {num_vars} {len(clause_list) + len(xor_list)}"]
+    for clause in clause_list:
+        lines.append(" ".join(str(lit) for lit in clause) + " 0")
+    for variables, rhs in xor_list:
+        lits = list(variables)
+        if not rhs and lits:
+            lits[0] = -lits[0]
+        lines.append("x" + " ".join(str(lit) for lit in lits) + " 0")
+    text = "\n".join(lines) + "\n"
+    if out is not None:
+        out.write(text)
+    return text

@@ -1,0 +1,219 @@
+"""Native XOR (parity) constraint propagation for the CDCL solver.
+
+The paper attributes much of pact_xor's advantage to CryptoMiniSat's native
+XOR reasoning (section III-E): an XOR hash constraint over k variables is a
+single parity row, while its CNF encoding needs 2^(k-1) clauses.  This
+engine reproduces the mechanism with a two-watched scheme over Python
+bigint bitmasks:
+
+* a row is ``(mask, rhs)`` where bit v of ``mask`` marks variable v and
+  ``rhs`` is the required parity of the true variables;
+* each row watches two unassigned variables; when a watched variable is
+  assigned the engine looks for a replacement inside ``mask``; if none
+  exists the row is unit (propagate the other watch) or fully assigned
+  (check parity, else conflict);
+* parity of the assigned part is one ``(mask & true_mask).bit_count()`` —
+  bigint popcount, which is why masks rather than lists are used.
+
+Reason clauses for XOR-implied literals are materialised lazily, only when
+conflict analysis asks for them.
+"""
+
+from __future__ import annotations
+
+from repro.sat.clause import Clause
+
+
+class XorRow:
+    """One parity constraint: XOR of the variables in ``mask`` equals ``rhs``."""
+
+    __slots__ = ("mask", "rhs", "w1", "w2")
+
+    def __init__(self, mask: int, rhs: int, w1: int, w2: int):
+        self.mask = mask
+        self.rhs = rhs
+        self.w1 = w1
+        self.w2 = w2
+
+    def variables(self) -> list[int]:
+        """The variables of this row, ascending."""
+        out = []
+        mask = self.mask
+        while mask:
+            low = mask & -mask
+            out.append(low.bit_length() - 1)
+            mask ^= low
+        return out
+
+    def __repr__(self) -> str:
+        return f"XorRow(vars={self.variables()}, rhs={self.rhs})"
+
+
+class XorEngine:
+    """Parity propagation engine embedded in a :class:`SatSolver`.
+
+    The engine reads the solver's assignment through the two bitmask
+    attributes the solver maintains (``assigned_mask``, ``true_mask``) and
+    enqueues implied literals through the solver's internal enqueue hook.
+    """
+
+    def __init__(self, solver):
+        self._solver = solver
+        self.rows: list[XorRow] = []
+        # watch lists: variable -> row indices currently watching it
+        self._watch: dict[int, list[int]] = {}
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_xor(self, variables: list[int], rhs: bool) -> bool:
+        """Add the constraint ``xor(variables) == rhs``.
+
+        Must be called at decision level 0.  Duplicated variables cancel
+        (x ^ x = 0).  Returns False if the constraint is immediately
+        inconsistent with the level-0 assignment.
+        """
+        solver = self._solver
+        mask = 0
+        for v in variables:
+            if v <= 0 or v > solver.num_vars():
+                raise ValueError(f"unknown variable {v} in xor constraint")
+            mask ^= 1 << v
+        parity = 1 if rhs else 0
+
+        # Substitute level-0 assigned variables immediately.
+        fixed = mask & solver.assigned_mask
+        parity ^= (fixed & solver.true_mask).bit_count() & 1
+        mask &= ~solver.assigned_mask
+
+        if mask == 0:
+            return parity == 0
+        if mask & (mask - 1) == 0:  # single variable: unit
+            v = mask.bit_length() - 1
+            lit = v if parity else -v
+            return solver._enqueue_root(lit)
+
+        w1 = mask.bit_length() - 1  # highest set bit's variable
+        w2 = (mask ^ (1 << w1)).bit_length() - 1
+        # Level-0-assigned variables were folded into `parity` above; they
+        # stay fixed for the row's lifetime (a frame pop that could unfix
+        # them also removes the row), so the reduced mask is sound.
+        row = XorRow(mask, parity, w1, w2)
+        index = len(self.rows)
+        self.rows.append(row)
+        self._watch.setdefault(w1, []).append(index)
+        self._watch.setdefault(w2, []).append(index)
+        return True
+
+    # ------------------------------------------------------------------
+    # propagation
+    # ------------------------------------------------------------------
+    def on_assign(self, var: int):
+        """Called by the solver when ``var`` gets assigned.
+
+        Returns None if no conflict, otherwise a conflict :class:`Clause`.
+        Implied literals are enqueued on the solver trail with this engine
+        recorded as their reason.
+        """
+        watching = self._watch.get(var)
+        if not watching:
+            return None
+        solver = self._solver
+        assigned = solver.assigned_mask
+        keep: list[int] = []
+        conflict = None
+        for position, index in enumerate(watching):
+            row = self.rows[index]
+            other = row.w2 if row.w1 == var else row.w1
+            # Try to find a replacement watch: a free variable in the row
+            # that is not the other watch.
+            free = row.mask & ~assigned & ~(1 << other)
+            if free:
+                replacement = free.bit_length() - 1
+                if row.w1 == var:
+                    row.w1 = replacement
+                else:
+                    row.w2 = replacement
+                self._watch.setdefault(replacement, []).append(index)
+                continue
+            keep.append(index)
+            parity = ((row.mask & solver.true_mask).bit_count() & 1) ^ row.rhs
+            if not (assigned >> other) & 1:
+                # Row is unit on `other`: parity of assigned part decides it.
+                lit = other if parity else -other
+                if not solver._enqueue(lit, ("xor", index)):
+                    # `lit` is already false: the implication clause itself
+                    # is the falsified clause.
+                    conflict = self.reason_clause(lit, index)
+                    keep.extend(watching[position + 1:])
+                    break
+                assigned = solver.assigned_mask
+            elif parity:
+                # Fully assigned with wrong parity: conflict.
+                conflict = self.conflict_clause(index)
+                keep.extend(watching[position + 1:])
+                break
+        if len(keep) != len(watching):
+            self._watch[var] = keep
+        return conflict
+
+    # ------------------------------------------------------------------
+    # reasons and conflicts
+    # ------------------------------------------------------------------
+    def reason_clause(self, lit: int, index: int) -> Clause:
+        """Materialise the implication clause that forced ``lit``.
+
+        For a row x1 ^ ... ^ xk = p with all variables but var(lit)
+        assigned, the clause is (lit OR the negation of every other
+        variable's current assignment).
+        """
+        solver = self._solver
+        row = self.rows[index]
+        var = lit if lit > 0 else -lit
+        lits = [lit]
+        for v in row.variables():
+            if v == var:
+                continue
+            lits.append(-v if (solver.true_mask >> v) & 1 else v)
+        return Clause(lits, learnt=True)
+
+    def conflict_clause(self, index: int) -> Clause:
+        """The clause falsified by a fully-assigned, parity-violating row."""
+        solver = self._solver
+        row = self.rows[index]
+        lits = [
+            -v if (solver.true_mask >> v) & 1 else v for v in row.variables()
+        ]
+        return Clause(lits, learnt=True)
+
+    # ------------------------------------------------------------------
+    # frames
+    # ------------------------------------------------------------------
+    def mark(self) -> int:
+        """Frame marker for :meth:`truncate`."""
+        return len(self.rows)
+
+    def truncate(self, mark: int) -> None:
+        """Drop rows added after ``mark`` and rebuild the watch lists.
+
+        Only legal when the solver trail holds no literal whose reason is a
+        dropped row — the solver guarantees this by backtracking to its
+        push-frame trail mark first.
+        """
+        if mark > len(self.rows):
+            raise ValueError("xor frame mark beyond current rows")
+        del self.rows[mark:]
+        self._watch = {}
+        for index, row in enumerate(self.rows):
+            self._watch.setdefault(row.w1, []).append(index)
+            self._watch.setdefault(row.w2, []).append(index)
+
+    def check_model(self, true_mask: int) -> bool:
+        """Verify all rows under a complete assignment (testing hook)."""
+        return all(
+            ((row.mask & true_mask).bit_count() & 1) == row.rhs
+            for row in self.rows
+        )

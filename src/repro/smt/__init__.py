@@ -1,0 +1,55 @@
+"""An SMT term layer, theory solvers and solver driver built from scratch.
+
+This package replaces CVC5 in the reproduction: hash-consed terms over the
+sorts Bool / BitVec / Real / FloatingPoint / Array / uninterpreted
+functions, an SMT-LIB v2 front end, eager bit-blasting for the discrete
+part, lazy simplex for linear real arithmetic, and Ackermann-style
+elimination for arrays and UF.  See DESIGN.md section 1 for the inventory.
+
+The public construction API is re-exported here; typical use::
+
+    from repro.smt import (BitVecSort, bv_var, bv_val, SmtSolver,
+                           Equals, And, bv_add)
+
+    x = bv_var("x", 8)
+    solver = SmtSolver()
+    solver.assert_term(Equals(bv_add(x, bv_val(1, 8)), bv_val(5, 8)))
+    assert solver.check() is True
+    print(solver.model().value(x))
+"""
+
+from repro.smt.sorts import (
+    ArraySort, BitVecSort, BoolSort, FloatSort, FunctionSort, RealSort,
+    Float16, Float32, Float64,
+)
+from repro.smt.terms import (
+    And, Distinct, Equals, FALSE, Iff, Implies, Ite, Not, Or, TRUE, Xor,
+    apply_uf, array_var, bool_var, bv_add, bv_and, bv_ashr, bv_concat,
+    bv_extract, bv_lshr, bv_mul, bv_neg, bv_not, bv_or, bv_sdiv, bv_shl,
+    bv_sign_extend, bv_sle, bv_slt, bv_srem, bv_sub, bv_udiv, bv_ule,
+    bv_ult, bv_urem, bv_val, bv_var, bv_xor, bv_zero_extend, fp_abs, fp_add,
+    fp_eq, fp_from_bv, fp_geq, fp_gt, fp_is_inf, fp_is_nan, fp_is_negative,
+    fp_is_normal, fp_is_positive, fp_is_subnormal, fp_is_zero, fp_leq,
+    fp_lt, fp_max, fp_min, fp_mul, fp_neg, fp_sub, fp_to_bv, fp_val, fp_var,
+    real_add, real_div, real_le, real_lt, real_ge, real_gt, real_mul,
+    real_neg, real_sub, real_val, real_var, select, store, Term, uf,
+)
+from repro.smt.model import Model
+from repro.smt.solver import SmtSolver
+
+__all__ = [
+    "And", "ArraySort", "BitVecSort", "BoolSort", "Distinct", "Equals",
+    "FALSE", "Float16", "Float32", "Float64", "FloatSort", "FunctionSort",
+    "Iff", "Implies", "Ite", "Model", "Not", "Or", "RealSort", "SmtSolver",
+    "TRUE", "Term", "Xor", "apply_uf", "array_var", "bool_var", "bv_add",
+    "bv_and", "bv_ashr", "bv_concat", "bv_extract", "bv_lshr", "bv_mul",
+    "bv_neg", "bv_not", "bv_or", "bv_sdiv", "bv_shl", "bv_sign_extend",
+    "bv_sle", "bv_slt", "bv_srem", "bv_sub", "bv_udiv", "bv_ule", "bv_ult",
+    "bv_urem", "bv_val", "bv_var", "bv_xor", "bv_zero_extend", "fp_abs",
+    "fp_add", "fp_eq", "fp_from_bv", "fp_geq", "fp_gt", "fp_is_inf",
+    "fp_is_nan", "fp_is_negative", "fp_is_normal", "fp_is_positive",
+    "fp_is_subnormal", "fp_is_zero", "fp_leq", "fp_lt", "fp_max", "fp_min",
+    "fp_mul", "fp_neg", "fp_sub", "fp_to_bv", "fp_val", "fp_var", "real_add",
+    "real_div", "real_ge", "real_gt", "real_le", "real_lt", "real_mul",
+    "real_neg", "real_sub", "real_val", "real_var", "select", "store", "uf",
+]

@@ -1,0 +1,186 @@
+"""Word-level circuits over literal vectors (LSB-first lists of SAT lits).
+
+Conventions: a bit-vector of width w is a list of w literals with index 0
+the least significant bit.  Constants appear as the builder's true/false
+literals, so circuits simplify automatically when operands are constant.
+"""
+
+from __future__ import annotations
+
+from repro.smt.bitblast.cnf import CnfBuilder
+
+
+def const_bits(builder: CnfBuilder, value: int, width: int) -> list[int]:
+    """Literal vector for a constant."""
+    return [builder.const(bool((value >> i) & 1)) for i in range(width)]
+
+
+def ripple_add(builder: CnfBuilder, a: list[int], b: list[int],
+               carry_in: int | None = None) -> tuple[list[int], int]:
+    """Ripple-carry adder; returns (sum bits, carry out)."""
+    assert len(a) == len(b)
+    carry = carry_in if carry_in is not None else builder.false_lit
+    out = []
+    for bit_a, bit_b in zip(a, b):
+        s, carry = builder.full_adder(bit_a, bit_b, carry)
+        out.append(s)
+    return out, carry
+
+
+def negate(builder: CnfBuilder, a: list[int]) -> list[int]:
+    """Two's complement negation."""
+    inverted = [-bit for bit in a]
+    out, _ = ripple_add(builder, inverted,
+                        const_bits(builder, 0, len(a)),
+                        carry_in=builder.true_lit)
+    return out
+
+
+def subtract(builder: CnfBuilder, a: list[int], b: list[int]
+             ) -> tuple[list[int], int]:
+    """a - b; returns (difference, borrow-free flag).
+
+    The second component is the adder carry-out of a + ~b + 1, which is 1
+    iff a >= b (unsigned).
+    """
+    inverted = [-bit for bit in b]
+    return ripple_add(builder, a, inverted, carry_in=builder.true_lit)
+
+
+def unsigned_less(builder: CnfBuilder, a: list[int], b: list[int]) -> int:
+    """a <u b as a literal."""
+    _, geq = subtract(builder, a, b)
+    return -geq
+
+
+def unsigned_leq(builder: CnfBuilder, a: list[int], b: list[int]) -> int:
+    return -unsigned_less(builder, b, a)
+
+
+def signed_less(builder: CnfBuilder, a: list[int], b: list[int]) -> int:
+    """a <s b: flip the sign bits and compare unsigned."""
+    a_flipped = a[:-1] + [-a[-1]]
+    b_flipped = b[:-1] + [-b[-1]]
+    return unsigned_less(builder, a_flipped, b_flipped)
+
+
+def signed_leq(builder: CnfBuilder, a: list[int], b: list[int]) -> int:
+    return -signed_less(builder, b, a)
+
+
+def equals(builder: CnfBuilder, a: list[int], b: list[int]) -> int:
+    """Bitwise equality as a single literal."""
+    assert len(a) == len(b)
+    return builder.land_many(
+        [builder.liff(x, y) for x, y in zip(a, b)]
+    )
+
+
+def ite_bits(builder: CnfBuilder, cond: int, then: list[int],
+             els: list[int]) -> list[int]:
+    assert len(then) == len(els)
+    return [builder.lite(cond, t, e) for t, e in zip(then, els)]
+
+
+def multiply(builder: CnfBuilder, a: list[int], b: list[int]) -> list[int]:
+    """Shift-and-add multiplier, truncated to the operand width."""
+    width = len(a)
+    accumulator = const_bits(builder, 0, width)
+    for i in range(width):
+        # partial product: (a << i) & b[i], truncated to width
+        partial = [builder.false_lit] * i + [
+            builder.land(a[j], b[i]) for j in range(width - i)
+        ]
+        accumulator, _ = ripple_add(builder, accumulator, partial)
+    return accumulator
+
+
+def multiply_full(builder: CnfBuilder, a: list[int], b: list[int]
+                  ) -> list[int]:
+    """Full 2w-width product (used by the relational divider)."""
+    width = len(a)
+    a_ext = a + [builder.false_lit] * width
+    accumulator = const_bits(builder, 0, 2 * width)
+    for i in range(width):
+        partial = ([builder.false_lit] * i
+                   + [builder.land(a_ext[j], b[i])
+                      for j in range(2 * width - i)])
+        accumulator, _ = ripple_add(builder, accumulator, partial)
+    return accumulator
+
+
+def shift_left(builder: CnfBuilder, a: list[int], shift: list[int]
+               ) -> list[int]:
+    """Barrel shifter: a << shift, zero filling; result 0 if shift >= w."""
+    return _barrel(builder, a, shift, fill=builder.false_lit, left=True)
+
+
+def shift_right(builder: CnfBuilder, a: list[int], shift: list[int]
+                ) -> list[int]:
+    """Logical right shift."""
+    return _barrel(builder, a, shift, fill=builder.false_lit, left=False)
+
+
+def shift_right_arith(builder: CnfBuilder, a: list[int], shift: list[int]
+                      ) -> list[int]:
+    """Arithmetic right shift (fill with the sign bit)."""
+    return _barrel(builder, a, shift, fill=a[-1], left=False)
+
+
+def _barrel(builder: CnfBuilder, a: list[int], shift: list[int],
+            fill: int, left: bool) -> list[int]:
+    width = len(a)
+    stages = max(1, (width - 1).bit_length())
+    result = list(a)
+    for k in range(min(stages, len(shift))):
+        amount = 1 << k
+        if left:
+            shifted = [fill] * min(amount, width) + result[:max(0, width - amount)]
+        else:
+            shifted = result[min(amount, width):] + [fill] * min(amount, width)
+        result = ite_bits(builder, shift[k], shifted, result)
+    # Shift amounts in [width, 2^stages) are already handled inside the
+    # stages (the list slicing clamps at the width, pushing every original
+    # bit out).  Any set bit at position >= stages forces all-fill.
+    overflow = builder.lor_many(list(shift[stages:]))
+    fill_vector = [fill] * width
+    return ite_bits(builder, overflow, fill_vector, result)
+
+
+def zero_extend_bits(builder: CnfBuilder, a: list[int], k: int) -> list[int]:
+    return a + [builder.false_lit] * k
+
+
+def sign_extend_bits(builder: CnfBuilder, a: list[int], k: int) -> list[int]:
+    return a + [a[-1]] * k
+
+
+def divider(builder: CnfBuilder, a: list[int], b: list[int]
+            ) -> tuple[list[int], list[int]]:
+    """Relational unsigned division: returns (quotient, remainder) bits.
+
+    Encodes q*b + r = a with r < b for b != 0, and the SMT-LIB zero-divisor
+    semantics (q = all-ones, r = a when b = 0) via fresh variable vectors.
+    """
+    width = len(a)
+    quotient = [builder.new_lit() for _ in range(width)]
+    remainder = [builder.new_lit() for _ in range(width)]
+    zero = const_bits(builder, 0, width)
+    b_is_zero = equals(builder, b, zero)
+
+    # Nonzero case: q*b (2w, upper half zero) + r == a, r < b.
+    product = multiply_full(builder, quotient, b)
+    ext_r = remainder + [builder.false_lit] * width
+    total, carry = ripple_add(builder, product, ext_r)
+    a_ext = a + [builder.false_lit] * width
+    sum_matches = builder.land(equals(builder, total, a_ext), -carry)
+    r_lt_b = unsigned_less(builder, remainder, b)
+    nonzero_ok = builder.land(sum_matches, r_lt_b)
+
+    # Zero case: q = all ones, r = a.
+    ones = const_bits(builder, (1 << width) - 1, width)
+    zero_ok = builder.land(equals(builder, quotient, ones),
+                           equals(builder, remainder, a))
+
+    builder.require(builder.lite(b_is_zero, zero_ok, nonzero_ok))
+    return quotient, remainder

@@ -1,0 +1,52 @@
+"""Concrete term evaluation under an assignment.
+
+Used for model validation (the SMT solver checks its own models in tests),
+for the rewriter's cross-checks, and by the benchmark generators to compute
+ground-truth counts on small instances.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ModelError
+from repro.smt.ops import Op
+from repro.smt.semantics import apply_op
+from repro.smt.terms import Term
+
+
+def evaluate(term: Term, assignment: dict[Term, object]):
+    """Evaluate ``term`` with variables bound by ``assignment``.
+
+    ``assignment`` maps variable terms to concrete values (see
+    :mod:`repro.smt.semantics` for representations).  Raises
+    :class:`ModelError` if an unbound variable is reached.
+    """
+    memo: dict[Term, object] = {}
+    stack = [(term, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if node in memo:
+            continue
+        if node.op == Op.VAR:
+            if node not in assignment:
+                raise ModelError(f"unbound variable {node!r}")
+            memo[node] = assignment[node]
+            continue
+        if node.is_const():
+            memo[node] = node.payload
+            continue
+        if not expanded:
+            stack.append((node, True))
+            for arg in node.args:
+                if arg not in memo:
+                    stack.append((arg, False))
+            continue
+        values = tuple(memo[arg] for arg in node.args)
+        arg_sorts = tuple(arg.sort for arg in node.args)
+        memo[node] = apply_op(node.op, node.sort, arg_sorts, values,
+                              node.params)
+    return memo[term]
+
+
+def satisfies(assertions, assignment: dict[Term, object]) -> bool:
+    """True iff every assertion evaluates to True under ``assignment``."""
+    return all(evaluate(assertion, assignment) for assertion in assertions)

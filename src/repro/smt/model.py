@@ -1,0 +1,89 @@
+"""Models: concrete assignments produced by a successful check.
+
+A :class:`Model` snapshots the values of every variable visible in the
+asserted formulas at the moment ``check()`` returned SAT, so it stays
+valid while the solver moves on (enumeration, new frames).  Arbitrary
+terms over those variables can then be evaluated with the reference
+evaluator — which is also how the test suite validates the solver against
+itself.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.errors import ModelError
+from repro.smt.evaluator import evaluate
+from repro.smt.terms import Term
+
+
+class Model:
+    """An immutable assignment of values to variables."""
+
+    def __init__(self, assignment: dict[Term, object]):
+        self._assignment = dict(assignment)
+
+    def value(self, term: Term):
+        """Evaluate ``term`` under this model.
+
+        Unbound variables of scalar sorts default to zero-ish values
+        (0 / False / 0 as a rational / all-zero FP bits) — consistent with
+        how SMT solvers complete partial models.
+        """
+        try:
+            return evaluate(term, self._assignment)
+        except ModelError:
+            complete = dict(self._assignment)
+            for var in free_variables(term):
+                if var not in complete:
+                    complete[var] = default_value(var.sort)
+            return evaluate(term, complete)
+
+    def __contains__(self, var: Term) -> bool:
+        return var in self._assignment
+
+    def variables(self) -> list[Term]:
+        return list(self._assignment)
+
+    def as_dict(self) -> dict[Term, object]:
+        return dict(self._assignment)
+
+    def __repr__(self) -> str:
+        entries = ", ".join(
+            f"{v.name}={value!r}" for v, value in
+            sorted(self._assignment.items(), key=lambda kv: kv[0].name)
+            if v.is_var()
+        )
+        return f"Model({entries})"
+
+
+def default_value(sort):
+    """The default completion value for an unconstrained variable."""
+    from repro.smt.semantics import ArrayValue, FunctionValue
+    if sort.is_bool():
+        return False
+    if sort.is_bv() or sort.is_fp():
+        return 0
+    if sort.is_real():
+        return Fraction(0)
+    if sort.is_array():
+        return ArrayValue()
+    if sort.is_function():
+        return FunctionValue()
+    raise ModelError(f"no default value for sort {sort!r}")
+
+
+def free_variables(term: Term) -> set[Term]:
+    """All variable terms occurring in ``term``."""
+    seen: set[Term] = set()
+    variables: set[Term] = set()
+    stack = [term]
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        if node.is_var():
+            variables.add(node)
+        stack.extend(node.args)
+    return variables

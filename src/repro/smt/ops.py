@@ -1,0 +1,118 @@
+"""Operator tags for the term DAG.
+
+Plain string constants grouped in a namespace class: cheap to hash, easy to
+read in debug output, no enum call overhead on the hot bit-blasting path.
+"""
+
+from __future__ import annotations
+
+
+class Op:
+    """All term operators, grouped by theory."""
+
+    # variables / constants (payload carried on the term)
+    VAR = "var"
+    BOOL_CONST = "bool.const"
+    BV_CONST = "bv.const"
+    REAL_CONST = "real.const"
+    FP_CONST = "fp.const"
+
+    # polymorphic core
+    EQ = "core.eq"
+    DISTINCT = "core.distinct"
+    ITE = "core.ite"
+
+    # booleans
+    NOT = "bool.not"
+    AND = "bool.and"
+    OR = "bool.or"
+    XOR = "bool.xor"
+    IMPLIES = "bool.implies"
+
+    # bit-vectors
+    BV_NOT = "bv.not"
+    BV_AND = "bv.and"
+    BV_OR = "bv.or"
+    BV_XOR = "bv.xor"
+    BV_NEG = "bv.neg"
+    BV_ADD = "bv.add"
+    BV_SUB = "bv.sub"
+    BV_MUL = "bv.mul"
+    BV_UDIV = "bv.udiv"
+    BV_UREM = "bv.urem"
+    BV_SDIV = "bv.sdiv"
+    BV_SREM = "bv.srem"
+    BV_SHL = "bv.shl"
+    BV_LSHR = "bv.lshr"
+    BV_ASHR = "bv.ashr"
+    BV_ULT = "bv.ult"
+    BV_ULE = "bv.ule"
+    BV_SLT = "bv.slt"
+    BV_SLE = "bv.sle"
+    BV_CONCAT = "bv.concat"
+    BV_EXTRACT = "bv.extract"          # params = (hi, lo)
+    BV_ZERO_EXTEND = "bv.zero_extend"  # params = (k,)
+    BV_SIGN_EXTEND = "bv.sign_extend"  # params = (k,)
+
+    # reals (linear arithmetic)
+    REAL_ADD = "real.add"
+    REAL_SUB = "real.sub"
+    REAL_MUL = "real.mul"
+    REAL_DIV = "real.div"
+    REAL_NEG = "real.neg"
+    REAL_LE = "real.le"
+    REAL_LT = "real.lt"
+
+    # floating point (SMT-LIB FP theory, RNE rounding for arithmetic)
+    FP_EQ = "fp.eq"
+    FP_LT = "fp.lt"
+    FP_LEQ = "fp.leq"
+    FP_ABS = "fp.abs"
+    FP_NEG = "fp.neg"
+    FP_ADD = "fp.add"
+    FP_SUB = "fp.sub"
+    FP_MUL = "fp.mul"
+    FP_MIN = "fp.min"
+    FP_MAX = "fp.max"
+    FP_IS_NAN = "fp.isNaN"
+    FP_IS_INF = "fp.isInfinite"
+    FP_IS_ZERO = "fp.isZero"
+    FP_IS_NORMAL = "fp.isNormal"
+    FP_IS_SUBNORMAL = "fp.isSubnormal"
+    FP_IS_NEG = "fp.isNegative"
+    FP_IS_POS = "fp.isPositive"
+    FP_FROM_BV = "fp.from_bv"          # reinterpret IEEE bits
+    FP_TO_BV = "fp.to_ieee_bv"         # expose IEEE bits
+
+    # arrays
+    SELECT = "array.select"
+    STORE = "array.store"
+
+    # uninterpreted functions
+    APPLY = "uf.apply"
+
+
+BV_BINARY_ARITH = frozenset({
+    Op.BV_ADD, Op.BV_SUB, Op.BV_MUL, Op.BV_UDIV, Op.BV_UREM, Op.BV_SDIV,
+    Op.BV_SREM, Op.BV_SHL, Op.BV_LSHR, Op.BV_ASHR, Op.BV_AND, Op.BV_OR,
+    Op.BV_XOR,
+})
+
+BV_PREDICATES = frozenset({Op.BV_ULT, Op.BV_ULE, Op.BV_SLT, Op.BV_SLE})
+
+FP_PREDICATES = frozenset({
+    Op.FP_EQ, Op.FP_LT, Op.FP_LEQ, Op.FP_IS_NAN, Op.FP_IS_INF,
+    Op.FP_IS_ZERO, Op.FP_IS_NORMAL, Op.FP_IS_SUBNORMAL, Op.FP_IS_NEG,
+    Op.FP_IS_POS,
+})
+
+FP_OPS = FP_PREDICATES | frozenset({
+    Op.FP_ABS, Op.FP_NEG, Op.FP_ADD, Op.FP_SUB, Op.FP_MUL, Op.FP_MIN,
+    Op.FP_MAX, Op.FP_CONST, Op.FP_FROM_BV,
+})
+
+REAL_PREDICATES = frozenset({Op.REAL_LE, Op.REAL_LT})
+
+BOOL_CONNECTIVES = frozenset({
+    Op.NOT, Op.AND, Op.OR, Op.XOR, Op.IMPLIES,
+})

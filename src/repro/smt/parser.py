@@ -1,0 +1,599 @@
+"""SMT-LIB v2 front end (the subset the supported logics need).
+
+Covers: ``set-logic`` / ``set-info`` / ``set-option``, ``declare-fun`` /
+``declare-const``, ``define-fun`` (inlined), ``assert``, ``check-sat`` /
+``get-model`` / ``exit`` (recorded, no-ops), sorts Bool / Real /
+``(_ BitVec w)`` / ``(_ FloatingPoint eb sb)`` / Float16/32/64 /
+``(Array s t)``, ``let`` bindings, indexed operators, BV / FP / real
+literals, and the full operator surface of QF_ABVFPLRA.
+
+Projection sets (pact's input) ride along as
+``(set-info :projected-vars (x y z))``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.errors import ParseError, UnsupportedFeatureError
+from repro.smt import terms as T
+from repro.smt.sorts import (
+    ArraySort, BitVecSort, BoolSort, FloatSort, RealSort, Sort,
+)
+from repro.smt.terms import Term
+
+
+class SmtScript:
+    """The parsed content of an SMT-LIB script."""
+
+    def __init__(self):
+        self.logic: str | None = None
+        self.assertions: list[Term] = []
+        self.declarations: dict[str, Term] = {}
+        self.projection: list[Term] = []
+        self.info: dict[str, object] = {}
+        self.check_sat_seen = False
+
+
+# ----------------------------------------------------------------------
+# tokenizer / reader
+# ----------------------------------------------------------------------
+def tokenize(text: str):
+    line = 1
+    i = 0
+    length = len(text)
+    while i < length:
+        ch = text[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+        elif ch in " \t\r":
+            i += 1
+        elif ch == ";":
+            while i < length and text[i] != "\n":
+                i += 1
+        elif ch in "()":
+            yield (ch, line)
+            i += 1
+        elif ch == "|":
+            j = text.find("|", i + 1)
+            if j < 0:
+                raise ParseError("unterminated quoted symbol", line)
+            yield (text[i + 1:j], line)
+            line += text.count("\n", i, j)
+            i = j + 1
+        elif ch == '"':
+            j = i + 1
+            while j < length and text[j] != '"':
+                j += 1
+            if j >= length:
+                raise ParseError("unterminated string", line)
+            yield (text[i:j + 1], line)
+            i = j + 1
+        else:
+            j = i
+            while j < length and text[j] not in " \t\r\n();|":
+                j += 1
+            yield (text[i:j], line)
+            i = j
+    yield (None, line)
+
+
+def read_sexprs(text: str):
+    """Parse all top-level s-expressions; atoms are (token, line) pairs."""
+    tokens = tokenize(text)
+    stack: list[list] = []
+    top: list = []
+    for token, line in tokens:
+        if token is None:
+            break
+        if token == "(":
+            stack.append([])
+        elif token == ")":
+            if not stack:
+                raise ParseError("unbalanced ')'", line)
+            closed = stack.pop()
+            (stack[-1] if stack else top).append(closed)
+        else:
+            (stack[-1] if stack else top).append((token, line))
+    if stack:
+        raise ParseError("unbalanced '('", 0)
+    return top
+
+
+def _atom(node) -> str | None:
+    if isinstance(node, tuple):
+        return node[0]
+    return None
+
+
+def _line(node) -> int:
+    if isinstance(node, tuple):
+        return node[1]
+    for child in node:
+        found = _line(child)
+        if found:
+            return found
+    return 0
+
+
+# ----------------------------------------------------------------------
+# parser proper
+# ----------------------------------------------------------------------
+class Parser:
+    def __init__(self):
+        self.script = SmtScript()
+        self._definitions: dict[str, tuple[list[tuple[str, Sort]], Term]] = {}
+
+    # -- sorts -----------------------------------------------------------
+    def parse_sort(self, node) -> Sort:
+        name = _atom(node)
+        if name is not None:
+            if name == "Bool":
+                return BoolSort()
+            if name == "Real":
+                return RealSort()
+            if name == "Float16":
+                return FloatSort(5, 11)
+            if name == "Float32":
+                return FloatSort(8, 24)
+            if name == "Float64":
+                return FloatSort(11, 53)
+            if name == "RoundingMode":
+                return BoolSort()  # placeholder; only RNE is accepted
+            raise ParseError(f"unknown sort {name}", node[1])
+        head = _atom(node[0])
+        if head == "_":
+            kind = _atom(node[1])
+            if kind == "BitVec":
+                return BitVecSort(int(_atom(node[2])))
+            if kind == "FloatingPoint":
+                return FloatSort(int(_atom(node[2])), int(_atom(node[3])))
+            raise ParseError(f"unknown indexed sort {kind}", _line(node))
+        if head == "Array":
+            return ArraySort(self.parse_sort(node[1]),
+                             self.parse_sort(node[2]))
+        raise ParseError(f"unknown sort expression", _line(node))
+
+    # -- commands ----------------------------------------------------------
+    def parse_script(self, text: str) -> SmtScript:
+        for command in read_sexprs(text):
+            if isinstance(command, tuple):
+                raise ParseError(f"stray atom {command[0]!r}", command[1])
+            self._command(command)
+        return self.script
+
+    def _command(self, command: list) -> None:
+        head = _atom(command[0])
+        if head == "set-logic":
+            self.script.logic = _atom(command[1])
+        elif head == "set-info":
+            self._set_info(command)
+        elif head in ("set-option", "get-model", "exit", "get-info",
+                      "get-value", "echo"):
+            pass
+        elif head == "check-sat":
+            self.script.check_sat_seen = True
+        elif head == "declare-fun":
+            self._declare_fun(command)
+        elif head == "declare-const":
+            name = _atom(command[1])
+            sort = self.parse_sort(command[2])
+            self._declare(name, (), sort)
+        elif head == "define-fun":
+            self._define_fun(command)
+        elif head == "assert":
+            term = self.parse_term(command[1], {})
+            if not term.sort.is_bool():
+                raise ParseError("assert of non-Bool term", _line(command))
+            self.script.assertions.append(term)
+        else:
+            raise ParseError(f"unsupported command {head}", _line(command))
+
+    def _set_info(self, command: list) -> None:
+        key = _atom(command[1])
+        if key == ":projected-vars" and len(command) > 2:
+            names = command[2]
+            if isinstance(names, tuple):
+                names = [names]
+            for entry in names:
+                name = _atom(entry)
+                var = self.script.declarations.get(name)
+                if var is None:
+                    raise ParseError(f"projected variable {name} undeclared",
+                                     _line(command))
+                self.script.projection.append(var)
+        elif len(command) > 2 and isinstance(command[2], tuple):
+            self.script.info[key] = command[2][0]
+
+    def _declare_fun(self, command: list) -> None:
+        name = _atom(command[1])
+        domain = tuple(self.parse_sort(s) for s in command[2])
+        codomain = self.parse_sort(command[3])
+        self._declare(name, domain, codomain)
+
+    def _declare(self, name: str, domain: tuple[Sort, ...],
+                 codomain: Sort) -> None:
+        if domain:
+            var = T.uf(name, domain, codomain)
+        elif codomain.is_bool():
+            var = T.bool_var(name)
+        elif codomain.is_bv():
+            var = T.bv_var(name, codomain.width)
+        elif codomain.is_real():
+            var = T.real_var(name)
+        elif codomain.is_fp():
+            var = T.fp_var(name, codomain.eb, codomain.sb)
+        elif codomain.is_array():
+            var = T.array_var(name, codomain.index, codomain.element)
+        else:
+            raise ParseError(f"cannot declare sort {codomain!r}")
+        self.script.declarations[name] = var
+
+    def _define_fun(self, command: list) -> None:
+        name = _atom(command[1])
+        parameters = [(
+            _atom(p[0]), self.parse_sort(p[1])) for p in command[2]]
+        # the return sort (command[3]) is validated implicitly
+        body_env = {}
+        formal_vars = {}
+        for pname, psort in parameters:
+            placeholder = self._make_placeholder(pname, psort)
+            formal_vars[pname] = placeholder
+            body_env[pname] = placeholder
+        body = self.parse_term(command[4], body_env)
+        self._definitions[name] = (parameters, formal_vars, body)
+
+    def _make_placeholder(self, name: str, sort: Sort) -> Term:
+        if sort.is_bool():
+            return T.bool_var(f"__param!{name}")
+        if sort.is_bv():
+            return T.bv_var(f"__param!{name}", sort.width)
+        if sort.is_real():
+            return T.real_var(f"__param!{name}")
+        if sort.is_fp():
+            return T.fp_var(f"__param!{name}", sort.eb, sort.sb)
+        raise ParseError(f"define-fun parameter sort {sort!r} unsupported")
+
+    # -- terms ----------------------------------------------------------
+    def parse_term(self, node, env: dict[str, Term]) -> Term:
+        name = _atom(node)
+        if name is not None:
+            return self._parse_atom(name, env, node[1])
+        head = _atom(node[0])
+        if head == "let":
+            new_env = dict(env)
+            for binding in node[1]:
+                bname = _atom(binding[0])
+                new_env[bname] = self.parse_term(binding[1], env)
+            return self.parse_term(node[2], new_env)
+        if head == "_":
+            return self._parse_indexed_constant(node)
+        if head == "fp":
+            return self._parse_fp_literal(node, env)
+        if head is None:
+            # ((_ op params) args...)
+            return self._parse_indexed_application(node, env)
+        return self._parse_application(head, node, env)
+
+    def _parse_atom(self, name: str, env: dict[str, Term],
+                    line: int) -> Term:
+        if name in env:
+            return env[name]
+        if name in self.script.declarations:
+            return self.script.declarations[name]
+        if name == "true":
+            return T.TRUE
+        if name == "false":
+            return T.FALSE
+        if name == "RNE":
+            return T.TRUE  # rounding-mode placeholder (only RNE accepted)
+        if name in ("RNA", "RTP", "RTN", "RTZ"):
+            raise UnsupportedFeatureError(
+                f"rounding mode {name} unsupported (RNE only)")
+        if name.startswith("#b"):
+            return T.bv_val(int(name[2:], 2), len(name) - 2)
+        if name.startswith("#x"):
+            return T.bv_val(int(name[2:], 16), (len(name) - 2) * 4)
+        if _is_numeral(name):
+            return T.real_val(Fraction(name))
+        if _is_decimal(name):
+            return T.real_val(Fraction(name))
+        raise ParseError(f"unknown symbol {name}", line)
+
+    def _parse_indexed_constant(self, node) -> Term:
+        kind = _atom(node[1])
+        if kind and kind.startswith("bv"):
+            value = int(kind[2:])
+            width = int(_atom(node[2]))
+            return T.bv_val(value, width)
+        if kind in ("+oo", "-oo", "NaN", "+zero", "-zero"):
+            eb = int(_atom(node[2]))
+            sb = int(_atom(node[3]))
+            total = 1 + eb + sb - 1
+            mbits = sb - 1
+            if kind == "+oo":
+                bits = ((1 << eb) - 1) << mbits
+            elif kind == "-oo":
+                bits = (1 << (total - 1)) | (((1 << eb) - 1) << mbits)
+            elif kind == "NaN":
+                bits = (((1 << eb) - 1) << mbits) | (1 << (mbits - 1))
+            elif kind == "+zero":
+                bits = 0
+            else:
+                bits = 1 << (total - 1)
+            return T.fp_val(bits, eb, sb)
+        raise ParseError(f"unknown indexed constant {kind}", _line(node))
+
+    def _parse_fp_literal(self, node, env) -> Term:
+        sign = self.parse_term(node[1], env)
+        exponent = self.parse_term(node[2], env)
+        mantissa = self.parse_term(node[3], env)
+        for part in (sign, exponent, mantissa):
+            if part.op != "bv.const":
+                raise ParseError("fp literal parts must be BV literals",
+                                 _line(node))
+        eb = exponent.sort.width
+        sb = mantissa.sort.width + 1
+        bits = ((sign.payload << (eb + sb - 1))
+                | (exponent.payload << (sb - 1)) | mantissa.payload)
+        return T.fp_val(bits, eb, sb)
+
+    def _parse_indexed_application(self, node, env) -> Term:
+        op_node = node[0]
+        if _atom(op_node[0]) != "_":
+            raise ParseError("bad application head", _line(node))
+        kind = _atom(op_node[1])
+        args = [self.parse_term(a, env) for a in node[1:]]
+        if kind == "extract":
+            hi, lo = int(_atom(op_node[2])), int(_atom(op_node[3]))
+            return T.bv_extract(args[0], hi, lo)
+        if kind == "zero_extend":
+            return T.bv_zero_extend(args[0], int(_atom(op_node[2])))
+        if kind == "sign_extend":
+            return T.bv_sign_extend(args[0], int(_atom(op_node[2])))
+        if kind == "rotate_left":
+            return _rotate(args[0], int(_atom(op_node[2])), left=True)
+        if kind == "rotate_right":
+            return _rotate(args[0], int(_atom(op_node[2])), left=False)
+        if kind == "to_fp":
+            # (_ to_fp eb sb) on a BV of matching width: reinterpret bits.
+            eb, sb = int(_atom(op_node[2])), int(_atom(op_node[3]))
+            if len(args) == 1 and args[0].sort.is_bv():
+                return T.fp_from_bv(args[0], eb, sb)
+            raise UnsupportedFeatureError(
+                "to_fp conversions other than bit reinterpretation")
+        raise ParseError(f"unknown indexed operator {kind}", _line(node))
+
+    def _parse_application(self, head: str, node, env) -> Term:
+        if head in self._definitions:
+            return self._apply_definition(head, node, env)
+        declared = self.script.declarations.get(head)
+        if declared is not None and declared.sort.is_function():
+            args = [self.parse_term(a, env) for a in node[1:]]
+            return T.apply_uf(declared, *args)
+        args = [self.parse_term(a, env) for a in node[1:]]
+        return build_application(head, args, _line(node))
+
+    def _apply_definition(self, name: str, node, env) -> Term:
+        parameters, formal_vars, body = self._definitions[name]
+        args = [self.parse_term(a, env) for a in node[1:]]
+        if len(args) != len(parameters):
+            raise ParseError(f"{name} arity mismatch", _line(node))
+        substitution = {
+            formal_vars[pname]: arg
+            for (pname, _), arg in zip(parameters, args)
+        }
+        return substitute(body, substitution)
+
+
+def _is_numeral(token: str) -> bool:
+    body = token[1:] if token[:1] == "-" else token
+    return body.isdigit() and bool(body)
+
+
+def _is_decimal(token: str) -> bool:
+    body = token[1:] if token[:1] == "-" else token
+    parts = body.split(".")
+    return len(parts) == 2 and all(p.isdigit() and p for p in parts)
+
+
+def _rotate(term: Term, amount: int, left: bool) -> Term:
+    width = term.sort.width
+    amount %= width
+    if amount == 0:
+        return term
+    if not left:
+        amount = width - amount
+    high = T.bv_extract(term, width - amount - 1, 0)
+    low = T.bv_extract(term, width - 1, width - amount)
+    return T.bv_concat(high, low)
+
+
+def substitute(term: Term, mapping: dict[Term, Term]) -> Term:
+    """Capture-free substitution over the term DAG."""
+    from repro.smt.terms import _mk
+    cache: dict[Term, Term] = {}
+
+    def walk(node: Term) -> Term:
+        if node in mapping:
+            return mapping[node]
+        cached = cache.get(node)
+        if cached is not None:
+            return cached
+        if not node.args:
+            result = node
+        else:
+            new_args = tuple(walk(a) for a in node.args)
+            result = (node if new_args == node.args else
+                      _mk(node.op, new_args, node.sort, node.payload,
+                          node.params))
+        cache[node] = result
+        return result
+
+    return walk(term)
+
+
+def smt_equals(a: Term, b: Term) -> Term:
+    """SMT-LIB ``=``: dispatches FP operands to abstract-value equality
+    (one NaN value; +0 and -0 distinct)."""
+    if a.sort.is_fp():
+        return T.Or(T.And(T.fp_is_nan(a), T.fp_is_nan(b)),
+                    T.Equals(T.fp_to_bv(a), T.fp_to_bv(b)))
+    return T.Equals(a, b)
+
+
+def _chain(args: list[Term], op) -> Term:
+    parts = [op(args[i], args[i + 1]) for i in range(len(args) - 1)]
+    return T.And(*parts) if len(parts) > 1 else parts[0]
+
+
+def _fold_left(args: list[Term], op) -> Term:
+    result = args[0]
+    for arg in args[1:]:
+        result = op(result, arg)
+    return result
+
+
+_BV_BINARY = {
+    "bvadd": T.bv_add, "bvsub": T.bv_sub, "bvmul": T.bv_mul,
+    "bvudiv": T.bv_udiv, "bvurem": T.bv_urem, "bvsdiv": T.bv_sdiv,
+    "bvsrem": T.bv_srem, "bvand": T.bv_and, "bvor": T.bv_or,
+    "bvxor": T.bv_xor, "bvshl": T.bv_shl, "bvlshr": T.bv_lshr,
+    "bvashr": T.bv_ashr,
+}
+
+_BV_PREDS = {
+    "bvult": T.bv_ult, "bvule": T.bv_ule, "bvslt": T.bv_slt,
+    "bvsle": T.bv_sle,
+    "bvugt": lambda a, b: T.bv_ult(b, a),
+    "bvuge": lambda a, b: T.bv_ule(b, a),
+    "bvsgt": lambda a, b: T.bv_slt(b, a),
+    "bvsge": lambda a, b: T.bv_sle(b, a),
+}
+
+_FP_PREDS_UNARY = {
+    "fp.isNaN": T.fp_is_nan, "fp.isInfinite": T.fp_is_inf,
+    "fp.isZero": T.fp_is_zero, "fp.isNormal": T.fp_is_normal,
+    "fp.isSubnormal": T.fp_is_subnormal, "fp.isNegative": T.fp_is_negative,
+    "fp.isPositive": T.fp_is_positive,
+}
+
+
+def build_application(head: str, args: list[Term], line: int) -> Term:
+    """Construct a term for a non-indexed SMT-LIB operator application."""
+    if head == "not":
+        return T.Not(args[0])
+    if head == "and":
+        return T.And(*args)
+    if head == "or":
+        return T.Or(*args)
+    if head == "xor":
+        return _fold_left(args, T.Xor)
+    if head == "=>":
+        result = args[-1]
+        for arg in reversed(args[:-1]):
+            result = T.Implies(arg, result)
+        return result
+    if head == "ite":
+        return T.Ite(args[0], args[1], args[2])
+    if head == "=":
+        return _chain(args, smt_equals)
+    if head == "distinct":
+        if args[0].sort.is_fp():
+            parts = []
+            for i in range(len(args)):
+                for j in range(i + 1, len(args)):
+                    parts.append(T.Not(smt_equals(args[i], args[j])))
+            return T.And(*parts)
+        return T.Distinct(*args)
+
+    if head in _BV_BINARY:
+        return _fold_left(args, _BV_BINARY[head])
+    if head in _BV_PREDS:
+        return _chain(args, _BV_PREDS[head])
+    if head == "bvnot":
+        return T.bv_not(args[0])
+    if head == "bvneg":
+        return T.bv_neg(args[0])
+    if head == "concat":
+        return T.bv_concat(*args)
+    if head == "bvcomp":
+        return T.Ite(T.Equals(args[0], args[1]),
+                     T.bv_val(1, 1), T.bv_val(0, 1))
+
+    if head == "+":
+        return _fold_left(args, T.real_add)
+    if head == "-":
+        if len(args) == 1:
+            return T.real_neg(args[0])
+        return _fold_left(args, T.real_sub)
+    if head == "*":
+        return _fold_left(args, T.real_mul)
+    if head == "/":
+        return _fold_left(args, T.real_div)
+    if head == "<":
+        return _chain(args, T.real_lt)
+    if head == "<=":
+        return _chain(args, T.real_le)
+    if head == ">":
+        return _chain(args, T.real_gt)
+    if head == ">=":
+        return _chain(args, T.real_ge)
+
+    if head in _FP_PREDS_UNARY:
+        return _FP_PREDS_UNARY[head](args[0])
+    if head == "fp.eq":
+        return _chain(args, T.fp_eq)
+    if head == "fp.lt":
+        return _chain(args, T.fp_lt)
+    if head == "fp.leq":
+        return _chain(args, T.fp_leq)
+    if head == "fp.gt":
+        return _chain(args, T.fp_gt)
+    if head == "fp.geq":
+        return _chain(args, T.fp_geq)
+    if head == "fp.abs":
+        return T.fp_abs(args[0])
+    if head == "fp.neg":
+        return T.fp_neg(args[0])
+    if head == "fp.min":
+        return T.fp_min(args[0], args[1])
+    if head == "fp.max":
+        return T.fp_max(args[0], args[1])
+    if head in ("fp.add", "fp.sub", "fp.mul"):
+        # first argument is the rounding mode (must be RNE -> parsed TRUE)
+        if args[0] is not T.TRUE:
+            raise UnsupportedFeatureError(f"{head} requires RNE rounding")
+        fn = {"fp.add": T.fp_add, "fp.sub": T.fp_sub,
+              "fp.mul": T.fp_mul}[head]
+        return fn(args[1], args[2])
+    if head in ("fp.div", "fp.sqrt", "fp.fma", "fp.rem",
+                "fp.roundToIntegral"):
+        raise UnsupportedFeatureError(
+            f"{head} is not supported (DESIGN.md section 5)")
+    if head == "fp.to_ieee_bv":
+        return T.fp_to_bv(args[0])
+
+    if head == "select":
+        return T.select(args[0], args[1])
+    if head == "store":
+        return T.store(args[0], args[1], args[2])
+
+    raise ParseError(f"unknown operator {head}", line)
+
+
+def parse_script(text: str) -> SmtScript:
+    """Parse a full SMT-LIB script."""
+    return Parser().parse_script(text)
+
+
+def parse_term_string(text: str,
+                      declarations: dict[str, Term]) -> Term:
+    """Parse a single term given existing declarations (testing helper)."""
+    parser = Parser()
+    parser.script.declarations.update(declarations)
+    nodes = read_sexprs(text)
+    if len(nodes) != 1:
+        raise ParseError("expected exactly one term")
+    return parser.parse_term(nodes[0], {})

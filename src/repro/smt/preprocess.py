@@ -1,0 +1,200 @@
+"""The preprocessing pipeline: from full hybrid SMT to the discrete core.
+
+Per asserted term, in order:
+
+1. rewrite/simplify (:mod:`repro.smt.rewriter`);
+2. FP elimination (:class:`repro.smt.theories.fp.encode.FpEncoder`);
+3. array elimination (read-over-write + Ackermann congruence);
+4. UF elimination (Ackermann);
+5. the real stage: desugar real equalities into pairs of weak
+   inequalities, hoist real-sorted ITEs into fresh variables with guard
+   implications, and abstract every remaining real atom into a fresh
+   Boolean variable (registered with the LRA theory).
+
+The output contains only Bool/BV structure plus the abstraction Booleans —
+exactly what the bit-blaster accepts.  All registries are frame-aware.
+"""
+
+from __future__ import annotations
+
+from repro.errors import UnsupportedFeatureError
+from repro.smt.ops import Op
+from repro.smt.rewriter import rewrite
+from repro.smt.terms import (
+    And, Equals, Implies, Not, Term, bool_var, real_le, real_var, _mk,
+)
+from repro.smt.theories.arrays import ArrayEliminator
+from repro.smt.theories.euf import UfEliminator
+from repro.smt.theories.fp.encode import FpEncoder
+
+_counter = [0]
+
+
+def _fresh_name(prefix: str) -> str:
+    _counter[0] += 1
+    return f"__{prefix}!{_counter[0]}"
+
+
+class ProcessResult:
+    """Output of :meth:`Preprocessor.process` for one assertion."""
+
+    __slots__ = ("assertions", "new_atoms")
+
+    def __init__(self, assertions: list[Term],
+                 new_atoms: list[tuple[Term, Term]]):
+        self.assertions = assertions    # Bool/BV-only terms to blast
+        self.new_atoms = new_atoms      # (real atom, abstraction bool var)
+
+
+class Preprocessor:
+    """Stateful, incremental, frame-aware preprocessing."""
+
+    def __init__(self):
+        self.fp = FpEncoder()
+        self.arrays = ArrayEliminator()
+        self.ufs = UfEliminator()
+        # real atom term -> abstraction variable (frame-aware)
+        self._atom_stack: list[dict[Term, Term]] = [{}]
+        # real ITE hoisting (frame-aware: lemmas are frame-local)
+        self._hoist_stack: list[dict[Term, Term]] = [{}]
+
+    # frames -------------------------------------------------------------
+    def push(self) -> None:
+        self.arrays.push()
+        self.ufs.push()
+        self._atom_stack.append({})
+        self._hoist_stack.append({})
+
+    def pop(self) -> None:
+        self.arrays.pop()
+        self.ufs.pop()
+        self._atom_stack.pop()
+        self._hoist_stack.pop()
+
+    # lookups over the frame stacks ---------------------------------------
+    def _lookup_atom(self, atom: Term) -> Term | None:
+        for frame in reversed(self._atom_stack):
+            if atom in frame:
+                return frame[atom]
+        return None
+
+    def _lookup_hoist(self, term: Term) -> Term | None:
+        for frame in reversed(self._hoist_stack):
+            if term in frame:
+                return frame[term]
+        return None
+
+    # ------------------------------------------------------------------
+    # the pipeline
+    # ------------------------------------------------------------------
+    def process(self, term: Term) -> ProcessResult:
+        if not term.sort.is_bool():
+            raise ValueError("assertions must be Bool-sorted")
+        term = rewrite(term)
+        term = self.fp.encode(term)
+
+        # Arrays, then UF; each emits lemmas that themselves run through
+        # the *remaining* stages.
+        pending = [term]
+        after_uf: list[Term] = []
+        while pending:
+            current = pending.pop()
+            current, array_lemmas = self.arrays.process(current)
+            for lemma in array_lemmas:
+                lemma, more = self.arrays.process(lemma)
+                if more:
+                    raise AssertionError("array lemmas must be select-free")
+                pending.append(lemma)
+            current, uf_lemmas = self.ufs.process(current)
+            after_uf.append(current)
+            for lemma in uf_lemmas:
+                lemma2, more = self.ufs.process(lemma)
+                if more:
+                    raise AssertionError("UF lemmas must be apply-free")
+                after_uf.append(lemma2)
+
+        # The real stage (may generate hoisting guard lemmas).
+        assertions: list[Term] = []
+        new_atoms: list[tuple[Term, Term]] = []
+        queue = list(after_uf)
+        while queue:
+            current = queue.pop()
+            transformed, lemmas = self._real_stage(current, new_atoms)
+            assertions.append(transformed)
+            queue.extend(lemmas)
+        return ProcessResult(assertions, new_atoms)
+
+    # ------------------------------------------------------------------
+    # real stage
+    # ------------------------------------------------------------------
+    def _real_stage(self, term: Term,
+                    new_atoms: list[tuple[Term, Term]]
+                    ) -> tuple[Term, list[Term]]:
+        lemmas: list[Term] = []
+        cache: dict[Term, Term] = {}
+
+        def walk(node: Term) -> Term:
+            cached = cache.get(node)
+            if cached is not None:
+                return cached
+            result = transform(node)
+            cache[node] = result
+            return result
+
+        def transform(node: Term) -> Term:
+            # Desugar real equality into two weak inequalities.
+            if node.op == Op.EQ and node.args[0].sort.is_real():
+                left = walk(node.args[0])
+                right = walk(node.args[1])
+                return And(abstract(real_le(left, right)),
+                           abstract(real_le(right, left)))
+            if node.op == Op.DISTINCT and node.args[0].sort.is_real():
+                parts = []
+                walked = [walk(a) for a in node.args]
+                for i in range(len(walked)):
+                    for j in range(i + 1, len(walked)):
+                        parts.append(Not(And(
+                            abstract(real_le(walked[i], walked[j])),
+                            abstract(real_le(walked[j], walked[i])))))
+                return And(*parts)
+            # Hoist real-sorted ITE.
+            if node.op == Op.ITE and node.sort.is_real():
+                return hoist(node)
+            # Abstract real atoms.
+            if node.op in (Op.REAL_LE, Op.REAL_LT):
+                left = walk(node.args[0])
+                right = walk(node.args[1])
+                rebuilt = _mk(node.op, (left, right), node.sort)
+                return abstract(rebuilt)
+            if not node.args:
+                return node
+            new_args = tuple(walk(a) for a in node.args)
+            if new_args == node.args:
+                return node
+            return _mk(node.op, new_args, node.sort, node.payload,
+                       node.params)
+
+        def abstract(atom: Term) -> Term:
+            existing = self._lookup_atom(atom)
+            if existing is not None:
+                return existing
+            abstraction = bool_var(_fresh_name("lra"))
+            self._atom_stack[-1][atom] = abstraction
+            new_atoms.append((atom, abstraction))
+            return abstraction
+
+        def hoist(node: Term) -> Term:
+            existing = self._lookup_hoist(node)
+            if existing is not None:
+                return existing
+            cond = walk(node.args[0])
+            then_val = walk(node.args[1])
+            else_val = walk(node.args[2])
+            fresh = real_var(_fresh_name("rite"))
+            self._hoist_stack[-1][node] = fresh
+            # Guard lemmas re-enter the real stage via the caller's queue.
+            lemmas.append(Implies(cond, Equals(fresh, then_val)))
+            lemmas.append(Implies(Not(cond), Equals(fresh, else_val)))
+            return fresh
+
+        return walk(term), lemmas

@@ -1,0 +1,152 @@
+"""SMT-LIB v2 printing: terms, sorts and whole scripts.
+
+Round-trips with :mod:`repro.smt.parser` (tested); the benchmark
+generators use :func:`write_script` to persist instances to ``.smt2``
+files, including the ``:projected-vars`` extension pact reads back.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.smt.model import free_variables
+from repro.smt.ops import Op
+from repro.smt.sorts import Sort
+from repro.smt.terms import Term
+
+_OP_NAMES = {
+    Op.NOT: "not", Op.AND: "and", Op.OR: "or", Op.XOR: "xor",
+    Op.IMPLIES: "=>", Op.ITE: "ite", Op.EQ: "=", Op.DISTINCT: "distinct",
+    Op.BV_NOT: "bvnot", Op.BV_NEG: "bvneg", Op.BV_AND: "bvand",
+    Op.BV_OR: "bvor", Op.BV_XOR: "bvxor", Op.BV_ADD: "bvadd",
+    Op.BV_SUB: "bvsub", Op.BV_MUL: "bvmul", Op.BV_UDIV: "bvudiv",
+    Op.BV_UREM: "bvurem", Op.BV_SDIV: "bvsdiv", Op.BV_SREM: "bvsrem",
+    Op.BV_SHL: "bvshl", Op.BV_LSHR: "bvlshr", Op.BV_ASHR: "bvashr",
+    Op.BV_ULT: "bvult", Op.BV_ULE: "bvule", Op.BV_SLT: "bvslt",
+    Op.BV_SLE: "bvsle", Op.BV_CONCAT: "concat",
+    Op.REAL_ADD: "+", Op.REAL_SUB: "-", Op.REAL_MUL: "*",
+    Op.REAL_DIV: "/", Op.REAL_NEG: "-", Op.REAL_LE: "<=",
+    Op.REAL_LT: "<",
+    Op.FP_EQ: "fp.eq", Op.FP_LT: "fp.lt", Op.FP_LEQ: "fp.leq",
+    Op.FP_ABS: "fp.abs", Op.FP_NEG: "fp.neg", Op.FP_MIN: "fp.min",
+    Op.FP_MAX: "fp.max", Op.FP_IS_NAN: "fp.isNaN",
+    Op.FP_IS_INF: "fp.isInfinite", Op.FP_IS_ZERO: "fp.isZero",
+    Op.FP_IS_NORMAL: "fp.isNormal", Op.FP_IS_SUBNORMAL: "fp.isSubnormal",
+    Op.FP_IS_NEG: "fp.isNegative", Op.FP_IS_POS: "fp.isPositive",
+    Op.FP_TO_BV: "fp.to_ieee_bv",
+    Op.SELECT: "select", Op.STORE: "store",
+}
+
+_FP_ROUNDED = {Op.FP_ADD: "fp.add", Op.FP_SUB: "fp.sub",
+               Op.FP_MUL: "fp.mul"}
+
+
+def print_sort(sort: Sort) -> str:
+    if sort.is_bool():
+        return "Bool"
+    if sort.is_real():
+        return "Real"
+    if sort.is_bv():
+        return f"(_ BitVec {sort.width})"
+    if sort.is_fp():
+        return f"(_ FloatingPoint {sort.eb} {sort.sb})"
+    if sort.is_array():
+        return (f"(Array {print_sort(sort.index)} "
+                f"{print_sort(sort.element)})")
+    raise ValueError(f"cannot print sort {sort!r}")
+
+
+def print_term(term: Term) -> str:
+    op = term.op
+    if op == Op.VAR:
+        return _symbol(term.name)
+    if op == Op.BOOL_CONST:
+        return "true" if term.payload else "false"
+    if op == Op.BV_CONST:
+        width = term.sort.width
+        if width % 4 == 0:
+            return "#x" + format(term.payload, f"0{width // 4}x")
+        return "#b" + format(term.payload, f"0{width}b")
+    if op == Op.REAL_CONST:
+        return _rational(term.payload)
+    if op == Op.FP_CONST:
+        eb, sb = term.sort.eb, term.sort.sb
+        mbits = sb - 1
+        sign = (term.payload >> (eb + mbits)) & 1
+        exponent = (term.payload >> mbits) & ((1 << eb) - 1)
+        mantissa = term.payload & ((1 << mbits) - 1)
+        return (f"(fp #b{sign} #b{format(exponent, f'0{eb}b')} "
+                f"#b{format(mantissa, f'0{mbits}b')})")
+    if op == Op.BV_EXTRACT:
+        hi, lo = term.params
+        return f"((_ extract {hi} {lo}) {print_term(term.args[0])})"
+    if op == Op.BV_ZERO_EXTEND:
+        return (f"((_ zero_extend {term.params[0]}) "
+                f"{print_term(term.args[0])})")
+    if op == Op.BV_SIGN_EXTEND:
+        return (f"((_ sign_extend {term.params[0]}) "
+                f"{print_term(term.args[0])})")
+    if op == Op.FP_FROM_BV:
+        return (f"((_ to_fp {term.sort.eb} {term.sort.sb}) "
+                f"{print_term(term.args[0])})")
+    if op in _FP_ROUNDED:
+        inner = " ".join(print_term(a) for a in term.args)
+        return f"({_FP_ROUNDED[op]} RNE {inner})"
+    if op == Op.APPLY:
+        inner = " ".join(print_term(a) for a in term.args[1:])
+        return f"({_symbol(term.args[0].name)} {inner})"
+    name = _OP_NAMES.get(op)
+    if name is None:
+        raise ValueError(f"cannot print operator {op}")
+    inner = " ".join(print_term(a) for a in term.args)
+    return f"({name} {inner})"
+
+
+def _rational(value: Fraction) -> str:
+    if value.denominator == 1:
+        if value >= 0:
+            return f"{value.numerator}.0"
+        return f"(- {-value.numerator}.0)"
+    text = f"(/ {abs(value.numerator)}.0 {value.denominator}.0)"
+    if value < 0:
+        return f"(- {text})"
+    return text
+
+
+def _symbol(name: str) -> str:
+    safe = all(c.isalnum() or c in "_.!~@$%^&*+-/<>=?" for c in name)
+    if safe and name:
+        return name
+    return f"|{name}|"
+
+
+def declaration(var: Term) -> str:
+    if var.sort.is_function():
+        domain = " ".join(print_sort(s) for s in var.sort.domain)
+        return (f"(declare-fun {_symbol(var.name)} ({domain}) "
+                f"{print_sort(var.sort.codomain)})")
+    return (f"(declare-fun {_symbol(var.name)} () "
+            f"{print_sort(var.sort)})")
+
+
+def write_script(assertions: list[Term], logic: str = "ALL",
+                 projection: list[Term] | None = None) -> str:
+    """Serialise assertions to a complete SMT-LIB script."""
+    lines = [f"(set-logic {logic})"]
+    variables: dict[str, Term] = {}
+    for assertion in assertions:
+        for var in sorted(free_variables(assertion),
+                          key=lambda v: v.name):
+            variables.setdefault(var.name, var)
+    if projection:
+        for var in projection:
+            variables.setdefault(var.name, var)
+    for name in sorted(variables):
+        lines.append(declaration(variables[name]))
+    if projection:
+        names = " ".join(_symbol(v.name) for v in projection)
+        lines.append(f"(set-info :projected-vars ({names}))")
+    for assertion in assertions:
+        lines.append(f"(assert {print_term(assertion)})")
+    lines.append("(check-sat)")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,259 @@
+"""Bottom-up term simplification: constant folding plus light identities.
+
+The rewriter runs before bit-blasting.  It is deliberately conservative —
+every rule must be an equivalence — and leans on
+:mod:`repro.smt.semantics` so folded constants agree exactly with the
+evaluator (and hence with the bit-blaster, which is tested against the
+evaluator).
+"""
+
+from __future__ import annotations
+
+from repro.smt.ops import Op
+from repro.smt.semantics import apply_op
+from repro.smt.terms import (
+    FALSE, TRUE, Term, bool_val, bv_val, fp_val, real_val, _mk,
+)
+
+
+def rewrite(term: Term, cache: dict[Term, Term] | None = None) -> Term:
+    """Return a simplified term equivalent to ``term``.
+
+    ``cache`` may be shared across calls to reuse work on shared subdags.
+    """
+    if cache is None:
+        cache = {}
+    stack = [(term, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if node in cache:
+            continue
+        if node.op == Op.VAR or node.is_const():
+            cache[node] = node
+            continue
+        if not expanded:
+            stack.append((node, True))
+            for arg in node.args:
+                if arg not in cache:
+                    stack.append((arg, False))
+            continue
+        new_args = tuple(cache[a] for a in node.args)
+        cache[node] = _rewrite_node(node, new_args)
+    return cache[term]
+
+
+def _rebuild(node: Term, args: tuple[Term, ...]) -> Term:
+    if args == node.args:
+        return node
+    return _mk(node.op, args, node.sort, node.payload, node.params)
+
+
+def _const_of(sort, value) -> Term:
+    if sort.is_bool():
+        return bool_val(value)
+    if sort.is_bv():
+        return bv_val(value, sort.width)
+    if sort.is_real():
+        return real_val(value)
+    if sort.is_fp():
+        return fp_val(value, sort.eb, sort.sb)
+    raise AssertionError(f"cannot make constant of sort {sort!r}")
+
+
+_FOLDABLE_SORTS = ("is_bool", "is_bv", "is_real", "is_fp")
+
+
+def _rewrite_node(node: Term, args: tuple[Term, ...]) -> Term:
+    op = node.op
+
+    # Constant folding whenever all arguments are constants and the result
+    # sort has a constant representation.
+    if args and all(a.is_const() for a in args):
+        sort_ok = any(getattr(node.sort, p)() for p in _FOLDABLE_SORTS)
+        if sort_ok:
+            values = tuple(a.payload for a in args)
+            arg_sorts = tuple(a.sort for a in args)
+            folded = apply_op(op, node.sort, arg_sorts, values, node.params)
+            return _const_of(node.sort, folded)
+
+    # ---- boolean identities -------------------------------------------
+    if op == Op.NOT:
+        (a,) = args
+        if a.op == Op.NOT:
+            return a.args[0]
+        if a is TRUE:
+            return FALSE
+        if a is FALSE:
+            return TRUE
+    elif op == Op.AND:
+        kept = []
+        for a in args:
+            if a is FALSE:
+                return FALSE
+            if a is TRUE:
+                continue
+            kept.append(a)
+        if not kept:
+            return TRUE
+        if len(kept) == 1:
+            return kept[0]
+        args = tuple(kept)
+    elif op == Op.OR:
+        kept = []
+        for a in args:
+            if a is TRUE:
+                return TRUE
+            if a is FALSE:
+                continue
+            kept.append(a)
+        if not kept:
+            return FALSE
+        if len(kept) == 1:
+            return kept[0]
+        args = tuple(kept)
+    elif op == Op.IMPLIES:
+        a, b = args
+        if a is FALSE or b is TRUE:
+            return TRUE
+        if a is TRUE:
+            return b
+        if b is FALSE:
+            return _mk(Op.NOT, (a,), node.sort)
+    elif op == Op.XOR:
+        a, b = args
+        if a is b:
+            return FALSE
+        if a is FALSE:
+            return b
+        if b is FALSE:
+            return a
+        if a is TRUE:
+            return _mk(Op.NOT, (b,), node.sort)
+        if b is TRUE:
+            return _mk(Op.NOT, (a,), node.sort)
+    elif op == Op.ITE:
+        cond, then, els = args
+        if cond is TRUE:
+            return then
+        if cond is FALSE:
+            return els
+        if then is els:
+            return then
+        if node.sort.is_bool():
+            if then is TRUE and els is FALSE:
+                return cond
+            if then is FALSE and els is TRUE:
+                return _mk(Op.NOT, (cond,), node.sort)
+    elif op == Op.EQ:
+        a, b = args
+        if a is b:
+            return TRUE
+        if a.is_const() and b.is_const():
+            return bool_val(a.payload == b.payload)
+        if node.args[0].sort.is_bool():
+            if a is TRUE:
+                return b
+            if b is TRUE:
+                return a
+            if a is FALSE:
+                return _mk(Op.NOT, (b,), node.sort)
+            if b is FALSE:
+                return _mk(Op.NOT, (a,), node.sort)
+
+    # ---- bit-vector identities ------------------------------------------
+    elif op in (Op.BV_ADD, Op.BV_OR, Op.BV_XOR):
+        a, b = args
+        if _is_bv_zero(b):
+            return a
+        if _is_bv_zero(a):
+            return b
+        if op == Op.BV_XOR and a is b:
+            return bv_val(0, node.sort.width)
+    elif op == Op.BV_SUB:
+        a, b = args
+        if _is_bv_zero(b):
+            return a
+        if a is b:
+            return bv_val(0, node.sort.width)
+    elif op == Op.BV_MUL:
+        a, b = args
+        if _is_bv_zero(a) or _is_bv_zero(b):
+            return bv_val(0, node.sort.width)
+        if _is_bv_one(b):
+            return a
+        if _is_bv_one(a):
+            return b
+    elif op == Op.BV_AND:
+        a, b = args
+        if _is_bv_zero(a) or _is_bv_zero(b):
+            return bv_val(0, node.sort.width)
+        if a is b:
+            return a
+        if _is_bv_ones(a):
+            return b
+        if _is_bv_ones(b):
+            return a
+    elif op == Op.BV_ULT:
+        a, b = args
+        if a is b or _is_bv_zero(b):
+            return FALSE
+    elif op == Op.BV_ULE:
+        a, b = args
+        if a is b or _is_bv_zero(a):
+            return TRUE
+    elif op in (Op.BV_SLT,) and args[0] is args[1]:
+        return FALSE
+    elif op in (Op.BV_SLE,) and args[0] is args[1]:
+        return TRUE
+    elif op == Op.BV_EXTRACT:
+        (a,) = args
+        hi, lo = node.params
+        if lo == 0 and hi == a.sort.width - 1:
+            return a
+
+    # ---- real identities -------------------------------------------------
+    elif op == Op.REAL_ADD:
+        a, b = args
+        if _is_real_zero(a):
+            return b
+        if _is_real_zero(b):
+            return a
+    elif op == Op.REAL_SUB:
+        a, b = args
+        if _is_real_zero(b):
+            return a
+    elif op == Op.REAL_MUL:
+        a, b = args
+        if _is_real_zero(a) or _is_real_zero(b):
+            return real_val(0)
+        if _is_real_one(a):
+            return b
+        if _is_real_one(b):
+            return a
+    elif op in (Op.REAL_LE,) and args[0] is args[1]:
+        return TRUE
+    elif op in (Op.REAL_LT,) and args[0] is args[1]:
+        return FALSE
+
+    return _rebuild(node, args)
+
+
+def _is_bv_zero(t: Term) -> bool:
+    return t.op == Op.BV_CONST and t.payload == 0
+
+
+def _is_bv_one(t: Term) -> bool:
+    return t.op == Op.BV_CONST and t.payload == 1
+
+
+def _is_bv_ones(t: Term) -> bool:
+    return (t.op == Op.BV_CONST
+            and t.payload == (1 << t.sort.width) - 1)
+
+
+def _is_real_zero(t: Term) -> bool:
+    return t.op == Op.REAL_CONST and t.payload == 0
+
+
+def _is_real_one(t: Term) -> bool:
+    return t.op == Op.REAL_CONST and t.payload == 1

@@ -1,0 +1,286 @@
+"""Concrete semantics of every operator, over Python values.
+
+Value representations:
+
+* Bool  -> ``bool``
+* BitVec(w) -> unsigned ``int`` in [0, 2^w)
+* Real  -> ``Fraction``
+* FloatingPoint(eb, sb) -> packed IEEE bit pattern (``int``), interpreted
+  via :class:`repro.smt.theories.fp.softfloat.SoftFloat`
+* Array -> :class:`ArrayValue`
+* UF    -> :class:`FunctionValue`
+
+These functions are the single source of truth for "what an operator
+means"; the evaluator, the rewriter's constant folding, and many tests all
+call into here, so the bit-blaster is validated against one consistent
+semantics.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.errors import SortError, UnsupportedFeatureError
+from repro.smt.ops import Op
+from repro.smt.sorts import FloatSortClass, Sort
+from repro.smt.theories.fp.softfloat import FpFormat, SoftFloat
+
+_softfloat_cache: dict[tuple[int, int], SoftFloat] = {}
+
+
+def softfloat(sort: FloatSortClass) -> SoftFloat:
+    """The (cached) SoftFloat engine for an FP sort."""
+    key = (sort.eb, sort.sb)
+    engine = _softfloat_cache.get(key)
+    if engine is None:
+        engine = SoftFloat(FpFormat(sort.eb, sort.sb))
+        _softfloat_cache[key] = engine
+    return engine
+
+
+class ArrayValue:
+    """A concrete array: finite table plus a default element."""
+
+    __slots__ = ("table", "default")
+
+    def __init__(self, table: dict | None = None, default=0):
+        self.table = dict(table or {})
+        self.default = default
+
+    def get(self, index):
+        return self.table.get(index, self.default)
+
+    def set(self, index, value) -> "ArrayValue":
+        new_table = dict(self.table)
+        new_table[index] = value
+        return ArrayValue(new_table, self.default)
+
+    def __eq__(self, other):
+        if not isinstance(other, ArrayValue):
+            return NotImplemented
+        if self.default != other.default:
+            return False
+        keys = set(self.table) | set(other.table)
+        return all(self.get(k) == other.get(k) for k in keys)
+
+    def __hash__(self):
+        return hash((frozenset(self.table.items()), self.default))
+
+    def __repr__(self):
+        return f"ArrayValue({self.table}, default={self.default})"
+
+
+class FunctionValue:
+    """A concrete uninterpreted function: table over argument tuples."""
+
+    __slots__ = ("table", "default")
+
+    def __init__(self, table: dict | None = None, default=0):
+        self.table = dict(table or {})
+        self.default = default
+
+    def apply(self, args: tuple):
+        return self.table.get(args, self.default)
+
+    def __repr__(self):
+        return f"FunctionValue({self.table}, default={self.default})"
+
+
+def _to_signed(value: int, width: int) -> int:
+    if value >= 1 << (width - 1):
+        return value - (1 << width)
+    return value
+
+
+def _mask(width: int) -> int:
+    return (1 << width) - 1
+
+
+def apply_op(op: str, sort: Sort, arg_sorts: tuple[Sort, ...],
+             values: tuple, params: tuple = ()):
+    """Evaluate operator ``op`` on concrete argument ``values``.
+
+    ``sort`` is the result sort, ``arg_sorts`` the argument sorts (needed
+    for width/format information).  Raises UnsupportedFeatureError for
+    operators with no concrete semantics here.
+    """
+    # ---- core ---------------------------------------------------------
+    if op == Op.EQ:
+        return values[0] == values[1]
+    if op == Op.DISTINCT:
+        return len(set(values)) == len(values)
+    if op == Op.ITE:
+        return values[1] if values[0] else values[2]
+
+    # ---- booleans -----------------------------------------------------
+    if op == Op.NOT:
+        return not values[0]
+    if op == Op.AND:
+        return all(values)
+    if op == Op.OR:
+        return any(values)
+    if op == Op.XOR:
+        return values[0] != values[1]
+    if op == Op.IMPLIES:
+        return (not values[0]) or values[1]
+
+    # ---- bit-vectors ----------------------------------------------------
+    if op.startswith("bv."):
+        return _apply_bv(op, sort, arg_sorts, values, params)
+
+    # ---- reals ----------------------------------------------------------
+    if op.startswith("real."):
+        return _apply_real(op, values)
+
+    # ---- floating point -------------------------------------------------
+    if op.startswith("fp."):
+        return _apply_fp(op, sort, arg_sorts, values)
+
+    # ---- arrays / UF ----------------------------------------------------
+    if op == Op.SELECT:
+        return values[0].get(values[1])
+    if op == Op.STORE:
+        return values[0].set(values[1], values[2])
+    if op == Op.APPLY:
+        return values[0].apply(tuple(values[1:]))
+
+    raise UnsupportedFeatureError(f"no concrete semantics for {op}")
+
+
+def _apply_bv(op: str, sort, arg_sorts, values, params):
+    width = arg_sorts[0].width
+    mask = _mask(width)
+    if op == Op.BV_ADD:
+        return (values[0] + values[1]) & mask
+    if op == Op.BV_SUB:
+        return (values[0] - values[1]) & mask
+    if op == Op.BV_MUL:
+        return (values[0] * values[1]) & mask
+    if op == Op.BV_NEG:
+        return (-values[0]) & mask
+    if op == Op.BV_NOT:
+        return ~values[0] & mask
+    if op == Op.BV_AND:
+        return values[0] & values[1]
+    if op == Op.BV_OR:
+        return values[0] | values[1]
+    if op == Op.BV_XOR:
+        return values[0] ^ values[1]
+    if op == Op.BV_UDIV:
+        # SMT-LIB: x udiv 0 = all ones
+        if values[1] == 0:
+            return mask
+        return values[0] // values[1]
+    if op == Op.BV_UREM:
+        # SMT-LIB: x urem 0 = x
+        if values[1] == 0:
+            return values[0]
+        return values[0] % values[1]
+    if op == Op.BV_SDIV:
+        a, b = _to_signed(values[0], width), _to_signed(values[1], width)
+        if b == 0:
+            return 1 if a < 0 else mask  # SMT-LIB bvsdiv by zero
+        q = abs(a) // abs(b)
+        if (a < 0) != (b < 0):
+            q = -q
+        return q & mask
+    if op == Op.BV_SREM:
+        a, b = _to_signed(values[0], width), _to_signed(values[1], width)
+        if b == 0:
+            return values[0]
+        r = abs(a) % abs(b)
+        if a < 0:
+            r = -r
+        return r & mask
+    if op == Op.BV_SHL:
+        shift = values[1]
+        return (values[0] << shift) & mask if shift < width else 0
+    if op == Op.BV_LSHR:
+        shift = values[1]
+        return values[0] >> shift if shift < width else 0
+    if op == Op.BV_ASHR:
+        signed = _to_signed(values[0], width)
+        shift = min(values[1], width)
+        return (signed >> shift) & mask
+    if op == Op.BV_ULT:
+        return values[0] < values[1]
+    if op == Op.BV_ULE:
+        return values[0] <= values[1]
+    if op == Op.BV_SLT:
+        return _to_signed(values[0], width) < _to_signed(values[1], width)
+    if op == Op.BV_SLE:
+        return _to_signed(values[0], width) <= _to_signed(values[1], width)
+    if op == Op.BV_CONCAT:
+        low_width = arg_sorts[1].width
+        return (values[0] << low_width) | values[1]
+    if op == Op.BV_EXTRACT:
+        hi, lo = params
+        return (values[0] >> lo) & _mask(hi - lo + 1)
+    if op == Op.BV_ZERO_EXTEND:
+        return values[0]
+    if op == Op.BV_SIGN_EXTEND:
+        k = params[0]
+        return _to_signed(values[0], width) & _mask(width + k)
+    raise UnsupportedFeatureError(f"no concrete semantics for {op}")
+
+
+def _apply_real(op: str, values):
+    if op == Op.REAL_ADD:
+        return values[0] + values[1]
+    if op == Op.REAL_SUB:
+        return values[0] - values[1]
+    if op == Op.REAL_MUL:
+        return values[0] * values[1]
+    if op == Op.REAL_DIV:
+        if values[1] == 0:
+            raise SortError("division by zero in concrete real division")
+        return Fraction(values[0]) / values[1]
+    if op == Op.REAL_NEG:
+        return -values[0]
+    if op == Op.REAL_LE:
+        return values[0] <= values[1]
+    if op == Op.REAL_LT:
+        return values[0] < values[1]
+    raise UnsupportedFeatureError(f"no concrete semantics for {op}")
+
+
+def _apply_fp(op: str, sort, arg_sorts, values):
+    fp_sort = arg_sorts[0]
+    if op == Op.FP_FROM_BV or op == Op.FP_TO_BV:
+        return values[0]  # same bits, reinterpreted
+    engine = softfloat(fp_sort)
+    if op == Op.FP_EQ:
+        return engine.eq(values[0], values[1])
+    if op == Op.FP_LT:
+        return engine.lt(values[0], values[1])
+    if op == Op.FP_LEQ:
+        return engine.leq(values[0], values[1])
+    if op == Op.FP_ABS:
+        return engine.abs_(values[0])
+    if op == Op.FP_NEG:
+        return engine.neg(values[0])
+    if op == Op.FP_ADD:
+        return engine.add(values[0], values[1])
+    if op == Op.FP_SUB:
+        return engine.sub(values[0], values[1])
+    if op == Op.FP_MUL:
+        return engine.mul(values[0], values[1])
+    if op == Op.FP_MIN:
+        return engine.min_(values[0], values[1])
+    if op == Op.FP_MAX:
+        return engine.max_(values[0], values[1])
+    if op == Op.FP_IS_NAN:
+        return engine.is_nan(values[0])
+    if op == Op.FP_IS_INF:
+        return engine.is_inf(values[0])
+    if op == Op.FP_IS_ZERO:
+        return engine.is_zero(values[0])
+    if op == Op.FP_IS_NORMAL:
+        return engine.is_normal(values[0])
+    if op == Op.FP_IS_SUBNORMAL:
+        return engine.is_subnormal(values[0])
+    if op == Op.FP_IS_NEG:
+        return engine.is_negative(values[0])
+    if op == Op.FP_IS_POS:
+        return engine.is_positive(values[0])
+    raise UnsupportedFeatureError(f"no concrete semantics for {op}")

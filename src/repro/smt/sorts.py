@@ -1,0 +1,171 @@
+"""SMT sorts: Bool, BitVec, Real, FloatingPoint, Array, function sorts.
+
+Sorts are interned — constructing the same sort twice yields the same
+object, so identity comparison (`is`) is valid and cheap everywhere in the
+solver.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SortError
+
+
+class Sort:
+    """Base class for all sorts."""
+
+    __slots__ = ()
+
+    def is_bool(self) -> bool:
+        return isinstance(self, _BoolSort)
+
+    def is_bv(self) -> bool:
+        return isinstance(self, BitVecSortClass)
+
+    def is_real(self) -> bool:
+        return isinstance(self, _RealSort)
+
+    def is_fp(self) -> bool:
+        return isinstance(self, FloatSortClass)
+
+    def is_array(self) -> bool:
+        return isinstance(self, ArraySortClass)
+
+    def is_function(self) -> bool:
+        return isinstance(self, FunctionSortClass)
+
+
+class _BoolSort(Sort):
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "Bool"
+
+
+class _RealSort(Sort):
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "Real"
+
+
+class BitVecSortClass(Sort):
+    __slots__ = ("width",)
+
+    def __init__(self, width: int):
+        if width < 1:
+            raise SortError(f"bit-vector width must be >= 1, got {width}")
+        self.width = width
+
+    def __repr__(self) -> str:
+        return f"(_ BitVec {self.width})"
+
+
+class FloatSortClass(Sort):
+    """IEEE-754 floating point: ``eb`` exponent bits, ``sb`` significand
+    bits *including* the hidden bit (SMT-LIB convention; Float32 = (8, 24)).
+    """
+
+    __slots__ = ("eb", "sb")
+
+    def __init__(self, eb: int, sb: int):
+        if eb < 2 or sb < 2:
+            raise SortError(f"FP sort needs eb >= 2 and sb >= 2, got ({eb}, {sb})")
+        self.eb = eb
+        self.sb = sb
+
+    @property
+    def total_width(self) -> int:
+        """Packed IEEE width: sign + exponent + trailing significand."""
+        return 1 + self.eb + self.sb - 1
+
+    def __repr__(self) -> str:
+        return f"(_ FloatingPoint {self.eb} {self.sb})"
+
+
+class ArraySortClass(Sort):
+    __slots__ = ("index", "element")
+
+    def __init__(self, index: Sort, element: Sort):
+        self.index = index
+        self.element = element
+
+    def __repr__(self) -> str:
+        return f"(Array {self.index!r} {self.element!r})"
+
+
+class FunctionSortClass(Sort):
+    __slots__ = ("domain", "codomain")
+
+    def __init__(self, domain: tuple[Sort, ...], codomain: Sort):
+        if not domain:
+            raise SortError("function sort needs at least one argument")
+        self.domain = domain
+        self.codomain = codomain
+
+    def __repr__(self) -> str:
+        args = " ".join(repr(s) for s in self.domain)
+        return f"({args}) -> {self.codomain!r}"
+
+
+_BOOL = _BoolSort()
+_REAL = _RealSort()
+_bv_cache: dict[int, BitVecSortClass] = {}
+_fp_cache: dict[tuple[int, int], FloatSortClass] = {}
+_array_cache: dict[tuple[int, int], ArraySortClass] = {}
+_fun_cache: dict[tuple, FunctionSortClass] = {}
+
+
+def BoolSort() -> Sort:
+    """The Boolean sort (singleton)."""
+    return _BOOL
+
+
+def RealSort() -> Sort:
+    """The real-arithmetic sort (singleton)."""
+    return _REAL
+
+
+def BitVecSort(width: int) -> BitVecSortClass:
+    """The bit-vector sort of the given width (interned)."""
+    sort = _bv_cache.get(width)
+    if sort is None:
+        sort = BitVecSortClass(width)
+        _bv_cache[width] = sort
+    return sort
+
+
+def FloatSort(eb: int, sb: int) -> FloatSortClass:
+    """The IEEE FP sort with ``eb`` exponent / ``sb`` significand bits."""
+    key = (eb, sb)
+    sort = _fp_cache.get(key)
+    if sort is None:
+        sort = FloatSortClass(eb, sb)
+        _fp_cache[key] = sort
+    return sort
+
+
+def ArraySort(index: Sort, element: Sort) -> ArraySortClass:
+    """The array sort from ``index`` to ``element`` (interned)."""
+    key = (id(index), id(element))
+    sort = _array_cache.get(key)
+    if sort is None:
+        sort = ArraySortClass(index, element)
+        _array_cache[key] = sort
+    return sort
+
+
+def FunctionSort(domain: tuple[Sort, ...] | list[Sort],
+                 codomain: Sort) -> FunctionSortClass:
+    """An uninterpreted-function sort (interned)."""
+    domain = tuple(domain)
+    key = (tuple(id(s) for s in domain), id(codomain))
+    sort = _fun_cache.get(key)
+    if sort is None:
+        sort = FunctionSortClass(domain, codomain)
+        _fun_cache[key] = sort
+    return sort
+
+
+Float16 = FloatSort(5, 11)
+Float32 = FloatSort(8, 24)
+Float64 = FloatSort(11, 53)

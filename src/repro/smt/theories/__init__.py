@@ -1,0 +1,1 @@
+"""Theory solvers: floating point (eager), LRA (lazy simplex), arrays, UF."""

@@ -1,0 +1,150 @@
+"""Array elimination for quantifier-free formulas.
+
+Two stages, both standard and complete for QF:
+
+1. *Read-over-write*: selects are pushed through stores and array ITEs
+   until every select reads a base array variable:
+
+       select(store(a, i, v), j)  ->  ite(i = j, v, select(a, j))
+       select(ite(c, A, B), j)    ->  ite(c, select(A, j), select(B, j))
+
+2. *Ackermannisation*: each remaining ``select(base, index)`` is replaced
+   by a fresh element-sorted variable, with congruence lemmas between every
+   pair of selects on the same base:  ``index1 = index2  ->  value1 =
+   value2``.
+
+The registry is incremental (new assertions add congruence lemmas against
+previously seen selects) and frame-aware (selects registered inside a pact
+cell frame are forgotten on pop).  Array equality is not supported
+(DESIGN.md section 5) and raises :class:`UnsupportedFeatureError`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import UnsupportedFeatureError
+from repro.smt.ops import Op
+from repro.smt.terms import (
+    Equals, Implies, Ite, Term, bool_var, bv_var, real_var, _mk,
+)
+
+_counter = [0]
+
+
+def _fresh(prefix: str, sort) -> Term:
+    _counter[0] += 1
+    name = f"__{prefix}!{_counter[0]}"
+    if sort.is_bv():
+        return bv_var(name, sort.width)
+    if sort.is_bool():
+        return bool_var(name)
+    if sort.is_real():
+        return real_var(name)
+    raise UnsupportedFeatureError(
+        f"cannot create fresh variable of sort {sort!r}")
+
+
+class ArrayEliminator:
+    """Incremental, frame-aware array elimination."""
+
+    def __init__(self):
+        # base array var -> list of (index term, representative var)
+        self._selects: dict[Term, list[tuple[Term, Term]]] = {}
+        self._select_cache: dict[tuple[Term, Term], Term] = {}
+        self._frames: list[tuple[dict, dict]] = []
+
+    # frames -------------------------------------------------------------
+    def push(self) -> None:
+        snapshot = ({base: list(entries)
+                     for base, entries in self._selects.items()},
+                    dict(self._select_cache))
+        self._frames.append(snapshot)
+
+    def pop(self) -> None:
+        self._selects, self._select_cache = self._frames.pop()
+
+    # the transform --------------------------------------------------------
+    def process(self, term: Term) -> tuple[Term, list[Term]]:
+        """Eliminate arrays from ``term``; returns (new term, lemmas)."""
+        lemmas: list[Term] = []
+        cache: dict[Term, Term] = {}
+
+        def walk(node: Term) -> Term:
+            cached = cache.get(node)
+            if cached is not None:
+                return cached
+            result = self._transform(node, walk, lemmas)
+            cache[node] = result
+            return result
+
+        return walk(term), lemmas
+
+    def _transform(self, node: Term, walk, lemmas: list[Term]) -> Term:
+        if node.op == Op.SELECT:
+            return self._resolve_select(node.args[0], walk(node.args[1]),
+                                        walk, lemmas)
+        if node.op in (Op.EQ, Op.DISTINCT) and node.args[0].sort.is_array():
+            raise UnsupportedFeatureError(
+                "array equality is not supported (DESIGN.md section 5)")
+        if node.sort.is_array():
+            # Bare array term outside a select position (e.g. a store used
+            # as an ITE branch) is fine — selects will be pushed into it.
+            # A *variable* or store can simply pass through unchanged;
+            # selects above it route through _resolve_select.
+            return node
+        if not node.args:
+            return node
+        new_args = tuple(walk(a) for a in node.args)
+        if new_args == node.args:
+            return node
+        return _mk(node.op, new_args, node.sort, node.payload, node.params)
+
+    def _resolve_select(self, array: Term, index: Term, walk,
+                        lemmas: list[Term]) -> Term:
+        """Push a select through stores/ITEs down to base variables."""
+        if array.op == Op.STORE:
+            base, stored_index, stored_value = array.args
+            stored_index = walk(stored_index)
+            stored_value = walk(stored_value)
+            inner = self._resolve_select(base, index, walk, lemmas)
+            return Ite(Equals(index, stored_index), stored_value, inner)
+        if array.op == Op.ITE:
+            cond, then_a, else_a = array.args
+            cond = walk(cond)
+            return Ite(cond,
+                       self._resolve_select(then_a, index, walk, lemmas),
+                       self._resolve_select(else_a, index, walk, lemmas))
+        if array.op == Op.VAR:
+            return self._register_select(array, index, lemmas)
+        raise UnsupportedFeatureError(
+            f"cannot select from array term {array.op}")
+
+    def _register_select(self, base: Term, index: Term,
+                         lemmas: list[Term]) -> Term:
+        key = (base, index)
+        existing = self._select_cache.get(key)
+        if existing is not None:
+            return existing
+        element_sort = base.sort.element
+        value = _fresh(f"sel_{base.name}", element_sort)
+        peers = self._selects.setdefault(base, [])
+        for other_index, other_value in peers:
+            lemmas.append(Implies(Equals(index, other_index),
+                                  Equals(value, other_value)))
+        peers.append((index, value))
+        self._select_cache[key] = value
+        return value
+
+    def reconstruct(self, base: Term, value_of) -> dict:
+        """Model table for a base array: {index value: element value}.
+
+        ``value_of(term)`` evaluates a term in the solver model.  Later
+        registrations win on duplicate concrete indices (congruence lemmas
+        guarantee they agree anyway).
+        """
+        table = {}
+        for index_term, value_term in self._selects.get(base, []):
+            table[value_of(index_term)] = value_of(value_term)
+        return table
+
+    def bases(self):
+        return list(self._selects)

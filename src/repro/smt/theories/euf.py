@@ -1,0 +1,86 @@
+"""Ackermannisation of uninterpreted functions (complete for QF).
+
+Each application ``f(t1, ..., tn)`` is replaced by a fresh codomain-sorted
+variable; for every pair of applications of the same symbol a functional-
+congruence lemma ``args equal -> results equal`` is emitted.  Like the
+array eliminator, the registry is incremental across assertions and
+frame-aware for pact's push/pop cells.
+"""
+
+from __future__ import annotations
+
+from repro.smt.ops import Op
+from repro.smt.terms import And, Equals, Implies, Term, _mk
+from repro.smt.theories.arrays import _fresh
+
+
+class UfEliminator:
+    """Incremental, frame-aware Ackermann expansion."""
+
+    def __init__(self):
+        # function symbol -> list of (arg terms tuple, representative var)
+        self._applications: dict[Term, list[tuple[tuple[Term, ...], Term]]] = {}
+        self._app_cache: dict[tuple, Term] = {}
+        self._frames: list[tuple[dict, dict]] = []
+
+    # frames -------------------------------------------------------------
+    def push(self) -> None:
+        snapshot = ({f: list(entries)
+                     for f, entries in self._applications.items()},
+                    dict(self._app_cache))
+        self._frames.append(snapshot)
+
+    def pop(self) -> None:
+        self._applications, self._app_cache = self._frames.pop()
+
+    # the transform --------------------------------------------------------
+    def process(self, term: Term) -> tuple[Term, list[Term]]:
+        lemmas: list[Term] = []
+        cache: dict[Term, Term] = {}
+
+        def walk(node: Term) -> Term:
+            cached = cache.get(node)
+            if cached is not None:
+                return cached
+            if node.op == Op.APPLY:
+                function = node.args[0]
+                args = tuple(walk(a) for a in node.args[1:])
+                result = self._register(function, args, lemmas)
+            elif node.args:
+                new_args = tuple(walk(a) for a in node.args)
+                result = (node if new_args == node.args else
+                          _mk(node.op, new_args, node.sort, node.payload,
+                              node.params))
+            else:
+                result = node
+            cache[node] = result
+            return result
+
+        return walk(term), lemmas
+
+    def _register(self, function: Term, args: tuple[Term, ...],
+                  lemmas: list[Term]) -> Term:
+        key = (function,) + args
+        existing = self._app_cache.get(key)
+        if existing is not None:
+            return existing
+        value = _fresh(f"app_{function.name}", function.sort.codomain)
+        peers = self._applications.setdefault(function, [])
+        for other_args, other_value in peers:
+            equalities = [Equals(a, b) for a, b in zip(args, other_args)]
+            lemmas.append(Implies(And(*equalities),
+                                  Equals(value, other_value)))
+        peers.append((args, value))
+        self._app_cache[key] = value
+        return value
+
+    def reconstruct(self, function: Term, value_of) -> dict:
+        """Model table for a function symbol: {arg values: result value}."""
+        table = {}
+        for arg_terms, value_term in self._applications.get(function, []):
+            key = tuple(value_of(a) for a in arg_terms)
+            table[key] = value_of(value_term)
+        return table
+
+    def functions(self):
+        return list(self._applications)

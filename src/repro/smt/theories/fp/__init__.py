@@ -1,0 +1,18 @@
+"""Floating-point theory support.
+
+Two halves, checked against each other by the test suite:
+
+* :mod:`repro.smt.theories.fp.softfloat` — an exact pure-Python IEEE-754
+  implementation over packed bit patterns (the *reference semantics*, used
+  by the evaluator and the rewriter's constant folding);
+* :mod:`repro.smt.theories.fp.encode` — a term-level FP→BV encoding (the
+  *solver semantics*): every FP operation becomes bit-vector circuits that
+  the eager bit-blaster then turns into CNF, mirroring how CVC5's SymFPU
+  handles the FP theory.
+
+Rounding: RNE only for arithmetic (DESIGN.md section 5).
+"""
+
+from repro.smt.theories.fp.softfloat import FpFormat, SoftFloat
+
+__all__ = ["FpFormat", "SoftFloat"]

@@ -1,0 +1,14 @@
+"""Linear real arithmetic: exact simplex with delta-rationals.
+
+The SMT solver handles LRA lazily (DPLL(T) with offline checks): real
+atoms are abstracted to Boolean variables during preprocessing; whenever
+the SAT core produces a full assignment, :class:`LraTheory` asserts the
+chosen atom polarities as simplex bounds and checks feasibility.  On
+conflict it returns a Farkas-style core that becomes a blocking clause.
+"""
+
+from repro.smt.theories.lra.delta import DeltaRational
+from repro.smt.theories.lra.simplex import Simplex
+from repro.smt.theories.lra.theory import LinearAtom, LraTheory
+
+__all__ = ["DeltaRational", "LinearAtom", "LraTheory", "Simplex"]

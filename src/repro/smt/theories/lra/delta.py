@@ -1,0 +1,70 @@
+"""Delta-rationals: rationals extended with an infinitesimal.
+
+Strict inequalities become weak ones over Q + Q*delta: ``x < c`` is
+``x <= c - delta``.  A value is ``(real, inf)`` meaning ``real + inf *
+delta`` for a positive infinitesimal delta; comparison is lexicographic.
+After a feasible simplex check, a concrete positive value for delta is
+computed so models are plain rationals (see Simplex.concretise).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+
+class DeltaRational:
+    """An element of Q + Q·delta."""
+
+    __slots__ = ("real", "inf")
+
+    def __init__(self, real, inf=0):
+        self.real = Fraction(real)
+        self.inf = Fraction(inf)
+
+    # arithmetic --------------------------------------------------------
+    def __add__(self, other: "DeltaRational") -> "DeltaRational":
+        return DeltaRational(self.real + other.real, self.inf + other.inf)
+
+    def __sub__(self, other: "DeltaRational") -> "DeltaRational":
+        return DeltaRational(self.real - other.real, self.inf - other.inf)
+
+    def __neg__(self) -> "DeltaRational":
+        return DeltaRational(-self.real, -self.inf)
+
+    def scale(self, factor) -> "DeltaRational":
+        factor = Fraction(factor)
+        return DeltaRational(self.real * factor, self.inf * factor)
+
+    # comparison (lexicographic) ----------------------------------------
+    def _key(self) -> tuple[Fraction, Fraction]:
+        return (self.real, self.inf)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, DeltaRational):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __lt__(self, other: "DeltaRational") -> bool:
+        return self._key() < other._key()
+
+    def __le__(self, other: "DeltaRational") -> bool:
+        return self._key() <= other._key()
+
+    def __gt__(self, other: "DeltaRational") -> bool:
+        return self._key() > other._key()
+
+    def __ge__(self, other: "DeltaRational") -> bool:
+        return self._key() >= other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def concretise(self, delta: Fraction) -> Fraction:
+        """Substitute a concrete positive value for the infinitesimal."""
+        return self.real + self.inf * delta
+
+    def __repr__(self) -> str:
+        if self.inf == 0:
+            return f"{self.real}"
+        sign = "+" if self.inf > 0 else "-"
+        return f"{self.real} {sign} {abs(self.inf)}d"

@@ -1,0 +1,271 @@
+"""The general simplex of Dutertre and de Moura ("A Fast Linear-Arithmetic
+Solver for DPLL(T)", CAV 2006) over exact rationals.
+
+Variables are integers handed out by :meth:`Simplex.new_variable`.  A
+*defined* variable (slack) is introduced with a linear definition over
+other variables; bounds are asserted on any variable, each carrying an
+opaque ``tag`` (the atom literal that produced it).  :meth:`check` either
+finds an assignment respecting all bounds or reports an infeasible subset
+of tags (the Farkas explanation from the violated row).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.smt.theories.lra.delta import DeltaRational
+
+_ZERO = DeltaRational(0)
+
+
+class Simplex:
+    """Exact simplex over delta-rationals."""
+
+    def __init__(self):
+        # tableau: basic var -> {nonbasic var: coefficient}
+        self._rows: dict[int, dict[int, Fraction]] = {}
+        self._is_basic: dict[int, bool] = {}
+        # column index: nonbasic var -> set of basic vars whose row uses it
+        self._columns: dict[int, set[int]] = {}
+        self._assignment: dict[int, DeltaRational] = {}
+        self._lower: dict[int, tuple[DeltaRational, object]] = {}
+        self._upper: dict[int, tuple[DeltaRational, object]] = {}
+        self._num_vars = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def new_variable(self) -> int:
+        var = self._num_vars
+        self._num_vars += 1
+        self._assignment[var] = _ZERO
+        self._is_basic[var] = False
+        self._columns[var] = set()
+        return var
+
+    def define(self, coefficients: dict[int, Fraction]) -> int:
+        """Introduce a slack variable defined as a linear combination of
+        existing (nonbasic or basic) variables; returns its id."""
+        slack = self.new_variable()
+        row: dict[int, Fraction] = {}
+        for var, coeff in coefficients.items():
+            coeff = Fraction(coeff)
+            if coeff == 0:
+                continue
+            if self._is_basic.get(var):
+                # substitute the basic var's own definition
+                for v2, c2 in self._rows[var].items():
+                    row[v2] = row.get(v2, Fraction(0)) + coeff * c2
+            else:
+                row[var] = row.get(var, Fraction(0)) + coeff
+        row = {v: c for v, c in row.items() if c != 0}
+        self._rows[slack] = row
+        self._is_basic[slack] = True
+        for var in row:
+            self._columns[var].add(slack)
+        self._assignment[slack] = self._row_value(slack)
+        return slack
+
+    def _row_value(self, basic: int) -> DeltaRational:
+        total = _ZERO
+        for var, coeff in self._rows[basic].items():
+            total = total + self._assignment[var].scale(coeff)
+        return total
+
+    # ------------------------------------------------------------------
+    # bound assertion
+    # ------------------------------------------------------------------
+    def assert_lower(self, var: int, bound: DeltaRational, tag) -> object:
+        """Assert var >= bound; returns None on success or a conflict
+        explanation (list of tags)."""
+        upper = self._upper.get(var)
+        if upper is not None and bound > upper[0]:
+            return [tag, upper[1]]
+        lower = self._lower.get(var)
+        if lower is not None and bound <= lower[0]:
+            return None  # weaker than the current bound
+        self._lower[var] = (bound, tag)
+        if not self._is_basic[var] and self._assignment[var] < bound:
+            self._update(var, bound)
+        return None
+
+    def assert_upper(self, var: int, bound: DeltaRational, tag) -> object:
+        lower = self._lower.get(var)
+        if lower is not None and bound < lower[0]:
+            return [tag, lower[1]]
+        upper = self._upper.get(var)
+        if upper is not None and bound >= upper[0]:
+            return None
+        self._upper[var] = (bound, tag)
+        if not self._is_basic[var] and self._assignment[var] > bound:
+            self._update(var, bound)
+        return None
+
+    def _update(self, nonbasic: int, value: DeltaRational) -> None:
+        delta = value - self._assignment[nonbasic]
+        self._assignment[nonbasic] = value
+        for basic in self._columns[nonbasic]:
+            coeff = self._rows[basic][nonbasic]
+            self._assignment[basic] = (
+                self._assignment[basic] + delta.scale(coeff))
+
+    # ------------------------------------------------------------------
+    # the check loop
+    # ------------------------------------------------------------------
+    def check(self):
+        """Returns (True, None) when feasible, else (False, tags)."""
+        while True:
+            violated = self._find_violated()
+            if violated is None:
+                return True, None
+            basic, need_increase = violated
+            pivot = self._find_pivot(basic, need_increase)
+            if pivot is None:
+                return False, self._explain(basic, need_increase)
+            target = (self._lower[basic][0] if need_increase
+                      else self._upper[basic][0])
+            self._pivot_and_update(basic, pivot, target)
+
+    def _find_violated(self):
+        """Bland's rule: smallest-index basic variable out of bounds."""
+        for basic in sorted(self._rows):
+            value = self._assignment[basic]
+            lower = self._lower.get(basic)
+            if lower is not None and value < lower[0]:
+                return basic, True
+            upper = self._upper.get(basic)
+            if upper is not None and value > upper[0]:
+                return basic, False
+        return None
+
+    def _find_pivot(self, basic: int, need_increase: bool):
+        """Smallest-index nonbasic variable that can move the row."""
+        row = self._rows[basic]
+        for nonbasic in sorted(row):
+            coeff = row[nonbasic]
+            value = self._assignment[nonbasic]
+            if need_increase:
+                # the row value must increase
+                can_move = ((coeff > 0 and self._below_upper(nonbasic, value))
+                            or (coeff < 0 and self._above_lower(nonbasic,
+                                                                value)))
+            else:
+                can_move = ((coeff > 0 and self._above_lower(nonbasic, value))
+                            or (coeff < 0 and self._below_upper(nonbasic,
+                                                                value)))
+            if can_move:
+                return nonbasic
+        return None
+
+    def _below_upper(self, var: int, value: DeltaRational) -> bool:
+        upper = self._upper.get(var)
+        return upper is None or value < upper[0]
+
+    def _above_lower(self, var: int, value: DeltaRational) -> bool:
+        lower = self._lower.get(var)
+        return lower is None or value > lower[0]
+
+    def _explain(self, basic: int, need_increase: bool) -> list:
+        """Farkas explanation from the stuck row."""
+        row = self._rows[basic]
+        tags = []
+        if need_increase:
+            tags.append(self._lower[basic][1])
+            for nonbasic, coeff in row.items():
+                bound = (self._upper.get(nonbasic) if coeff > 0
+                         else self._lower.get(nonbasic))
+                assert bound is not None, "stuck row without bound"
+                tags.append(bound[1])
+        else:
+            tags.append(self._upper[basic][1])
+            for nonbasic, coeff in row.items():
+                bound = (self._lower.get(nonbasic) if coeff > 0
+                         else self._upper.get(nonbasic))
+                assert bound is not None, "stuck row without bound"
+                tags.append(bound[1])
+        # deduplicate, preserve order
+        seen = set()
+        unique = []
+        for tag in tags:
+            if id(tag) not in seen and tag is not None:
+                seen.add(id(tag))
+                unique.append(tag)
+        return unique
+
+    def _pivot_and_update(self, basic: int, nonbasic: int,
+                          target: DeltaRational) -> None:
+        """Pivot (basic, nonbasic) and set the old basic var to target."""
+        row = self._rows.pop(basic)
+        coeff = row.pop(nonbasic)
+        for var in row:
+            self._columns[var].discard(basic)
+        self._columns[nonbasic].discard(basic)
+
+        # nonbasic = (basic - sum(row)) / coeff
+        inv = Fraction(1) / coeff
+        new_row = {basic: inv}
+        for var, c in row.items():
+            new_row[var] = -c * inv
+
+        self._is_basic[basic] = False
+        self._is_basic[nonbasic] = True
+
+        # substitute into every other row that used `nonbasic`
+        for other in list(self._columns[nonbasic]):
+            other_row = self._rows[other]
+            factor = other_row.pop(nonbasic)
+            self._columns[nonbasic].discard(other)
+            for var, c in new_row.items():
+                new_c = other_row.get(var, Fraction(0)) + factor * c
+                if new_c == 0:
+                    if var in other_row:
+                        del other_row[var]
+                        self._columns[var].discard(other)
+                else:
+                    if var not in other_row:
+                        self._columns[var].add(other)
+                    other_row[var] = new_c
+
+        self._rows[nonbasic] = new_row
+        for var in new_row:
+            self._columns[var].add(nonbasic)
+
+        # `basic` is now nonbasic: move it to its violated bound, then
+        # recompute every basic variable from the nonbasic assignment.
+        self._assignment[basic] = target
+        for other in self._rows:
+            self._assignment[other] = self._row_value(other)
+
+    # ------------------------------------------------------------------
+    # model extraction
+    # ------------------------------------------------------------------
+    def value(self, var: int) -> DeltaRational:
+        return self._assignment[var]
+
+    def concretise(self) -> dict[int, Fraction]:
+        """Choose a concrete positive delta and return rational values.
+
+        Requires a successful :meth:`check`.  delta is picked small enough
+        that every strict bound remains strictly satisfied.
+        """
+        delta = Fraction(1)
+        for var in range(self._num_vars):
+            value = self._assignment[var]
+            for bound, is_lower in (
+                    (self._lower.get(var), True),
+                    (self._upper.get(var), False)):
+                if bound is None:
+                    continue
+                limit = bound[0]
+                gap_real = (value.real - limit.real if is_lower
+                            else limit.real - value.real)
+                gap_inf = (value.inf - limit.inf if is_lower
+                           else limit.inf - value.inf)
+                if gap_inf < 0 and gap_real > 0:
+                    delta = min(delta, Fraction(gap_real, -gap_inf))
+        # Shrink once more for safety against equal boundaries.
+        delta = delta / 2
+        return {
+            var: self._assignment[var].concretise(delta)
+            for var in range(self._num_vars)
+        }

@@ -1,0 +1,18 @@
+"""Shared utilities: primality, deterministic RNG, statistics, deadlines."""
+
+from repro.utils.deadline import Deadline
+from repro.utils.luby import luby
+from repro.utils.primes import is_prime, next_prime
+from repro.utils.rng import SeedSequence
+from repro.utils.stats import geometric_mean, median, relative_error
+
+__all__ = [
+    "Deadline",
+    "SeedSequence",
+    "geometric_mean",
+    "is_prime",
+    "luby",
+    "median",
+    "next_prime",
+    "relative_error",
+]

@@ -1,0 +1,50 @@
+"""Wall-clock deadlines threaded through solvers and counters.
+
+The paper's evaluation gives every solver/instance pair a 3600 s timeout;
+our harness does the same at laptop scale.  A :class:`Deadline` is created
+once per run and passed down; leaf loops call :meth:`check` (cheap) or
+:meth:`expired` at natural poll points.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.errors import SolverTimeoutError
+
+
+class Deadline:
+    """A monotonic-clock deadline.  ``Deadline(None)`` never expires."""
+
+    __slots__ = ("_limit",)
+
+    def __init__(self, seconds: float | None):
+        if seconds is None:
+            self._limit = None
+        else:
+            if seconds < 0:
+                raise ValueError("deadline must be non-negative")
+            self._limit = time.monotonic() + seconds
+
+    @classmethod
+    def unlimited(cls) -> "Deadline":
+        return cls(None)
+
+    def expired(self) -> bool:
+        return self._limit is not None and time.monotonic() >= self._limit
+
+    def check(self) -> None:
+        """Raise :class:`SolverTimeoutError` if the deadline has passed."""
+        if self.expired():
+            raise SolverTimeoutError("wall-clock deadline exceeded")
+
+    def remaining(self) -> float:
+        """Seconds remaining (infinity if unlimited, 0.0 floor)."""
+        if self._limit is None:
+            return float("inf")
+        return max(0.0, self._limit - time.monotonic())
+
+    def __repr__(self) -> str:
+        if self._limit is None:
+            return "Deadline(unlimited)"
+        return f"Deadline(remaining={self.remaining():.3f}s)"

@@ -1,0 +1,25 @@
+"""The Luby restart sequence used by the CDCL solver.
+
+luby(i) for i = 1, 2, ... yields 1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4,
+8, ... — the universally optimal restart schedule of Luby, Sinclair and
+Zuckerman, standard in modern SAT solvers.
+"""
+
+from __future__ import annotations
+
+
+def luby(i: int) -> int:
+    """Return the i-th element (1-based) of the Luby sequence."""
+    if i < 1:
+        raise ValueError("luby is 1-based")
+    x = i - 1
+    # Find the smallest subsequence 2^seq - 1 elements long containing x.
+    size, seq = 1, 0
+    while size < x + 1:
+        seq += 1
+        size = 2 * size + 1
+    while size - 1 != x:
+        size = (size - 1) >> 1
+        seq -= 1
+        x %= size
+    return 1 << seq

@@ -1,0 +1,41 @@
+"""Small statistics helpers used by the counting algorithms and the harness."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def median(values: Sequence[int | float]) -> int | float:
+    """Return the median; for even-length input, the lower-middle element.
+
+    pact's ``FindMedian`` (Algorithm 1, line 15) takes the median of integer
+    count estimates, so we return an element of the input (no averaging) to
+    keep the result an achievable count.
+    """
+    if not values:
+        raise ValueError("median of empty sequence")
+    ordered = sorted(values)
+    return ordered[(len(ordered) - 1) // 2]
+
+
+def relative_error(exact: int | float, estimate: int | float) -> float:
+    """The paper's error metric e = max(b/s, s/b) - 1 (section IV-B).
+
+    ``exact`` is the enum count b, ``estimate`` the approximate count s.
+    Matches the observed value of the tolerance parameter epsilon.
+    """
+    if exact <= 0 or estimate <= 0:
+        if exact == estimate:
+            return 0.0
+        return math.inf
+    return max(exact / estimate, estimate / exact) - 1.0
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean, used for aggregate speedup reporting."""
+    if not values:
+        raise ValueError("geometric mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

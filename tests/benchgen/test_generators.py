@@ -1,0 +1,89 @@
+"""Benchmark generator tests: counts must be analytic AND correct."""
+
+import pytest
+
+from repro import exact_count
+from repro.benchgen import build_suite, select_benchmarks
+from repro.benchgen.generators import GENERATORS
+from repro.benchgen.suite import LOGICS, accuracy_pool
+from repro.smt.parser import parse_script
+
+
+class TestGeneratorBasics:
+    @pytest.mark.parametrize("logic", LOGICS)
+    def test_instance_well_formed(self, logic):
+        instance = GENERATORS[logic](seed=1, width=9)
+        assert instance.logic == logic
+        assert instance.projection
+        assert instance.assertions
+        assert instance.known_count is not None
+        assert instance.projection_bits() == 9
+
+    @pytest.mark.parametrize("logic", LOGICS)
+    def test_deterministic(self, logic):
+        first = GENERATORS[logic](seed=4, width=9)
+        second = GENERATORS[logic](seed=4, width=9)
+        assert first.known_count == second.known_count
+        assert [a is b for a, b in
+                zip(first.assertions, second.assertions)]
+
+    @pytest.mark.parametrize("logic", LOGICS)
+    def test_seeds_vary_instances(self, logic):
+        counts = {GENERATORS[logic](seed=s, width=10).known_count
+                  for s in range(8)}
+        assert len(counts) > 1
+
+    @pytest.mark.parametrize("logic", LOGICS)
+    def test_known_count_matches_enum(self, logic):
+        """The central generator invariant, checked through the solver."""
+        instance = GENERATORS[logic](seed=2, width=9)
+        result = exact_count(instance.assertions, instance.projection,
+                             timeout=120)
+        assert result.solved
+        assert result.estimate == instance.known_count, instance.name
+
+    @pytest.mark.parametrize("logic", LOGICS)
+    def test_smtlib_round_trip(self, logic):
+        instance = GENERATORS[logic](seed=3, width=9)
+        script = parse_script(instance.to_smtlib())
+        assert len(script.assertions) == len(instance.assertions)
+        assert [v.name for v in script.projection] == [
+            v.name for v in instance.projection]
+        # Re-parsed assertions are the *same* interned terms.
+        for original, reparsed in zip(instance.assertions,
+                                      script.assertions):
+            assert original is reparsed
+
+
+class TestSuite:
+    def test_build_suite_covers_all_logics(self):
+        pool = build_suite(per_logic=3, base_seed=5)
+        assert len(pool) == 3 * len(LOGICS)
+        assert {i.logic for i in pool} == set(LOGICS)
+
+    def test_min_count_filter(self):
+        pool = build_suite(per_logic=6, base_seed=5)
+        kept = select_benchmarks(pool, min_count=300, sat_budget=None)
+        assert all(i.known_count >= 300 for i in kept)
+
+    def test_cluster_cap(self):
+        pool = build_suite(per_logic=12, base_seed=5,
+                           widths=(9,))  # all in one cluster per logic
+        kept = select_benchmarks(pool, min_count=0, max_per_cluster=5,
+                                 sat_budget=None)
+        clusters = {}
+        for instance in kept:
+            clusters[instance.cluster] = clusters.get(instance.cluster,
+                                                      0) + 1
+        assert all(count <= 5 for count in clusters.values())
+
+    def test_sat_filter_drops_unsat(self):
+        pool = build_suite(per_logic=6, base_seed=5)
+        kept = select_benchmarks(pool, min_count=0, sat_budget=5.0)
+        # Instances with zero solutions are unsat and must be gone.
+        assert all(i.known_count > 0 for i in kept)
+
+    def test_accuracy_pool_in_band(self):
+        instances = accuracy_pool(per_logic=1)
+        assert len(instances) == len(LOGICS)
+        assert all(100 <= i.known_count <= 500 for i in instances)

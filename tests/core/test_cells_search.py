@@ -1,0 +1,119 @@
+"""SaturatingCounter and NextIndex (galloping search) tests."""
+
+import pytest
+
+from repro.core.cells import SATURATED, CallCounter, saturating_count
+from repro.core.search import find_boundary
+from repro.errors import CounterError
+from repro.smt import SmtSolver, bv_val, bv_var, bv_ult
+from repro.utils.deadline import Deadline
+
+
+class TestSaturatingCounter:
+    def make(self, bound):
+        solver = SmtSolver()
+        x = bv_var(f"sc_x{bound}", 6)
+        solver.assert_term(bv_ult(x, bv_val(bound, 6)))
+        return solver, x
+
+    def test_small_cell_counted_exactly(self):
+        solver, x = self.make(7)
+        calls = CallCounter()
+        result = saturating_count(solver, [x], 20, Deadline.unlimited(),
+                                  calls)
+        assert result == 7
+        assert calls.solver_calls == 8  # 7 SAT + 1 UNSAT
+
+    def test_saturation(self):
+        solver, x = self.make(30)
+        calls = CallCounter()
+        result = saturating_count(solver, [x], 10, Deadline.unlimited(),
+                                  calls)
+        assert result is SATURATED
+        assert calls.solver_calls == 10  # stops right at thresh
+
+    def test_zero_solutions(self):
+        solver = SmtSolver()
+        x = bv_var("sc_zero", 4)
+        solver.assert_term(bv_ult(x, bv_val(0, 4)))  # unsatisfiable
+        calls = CallCounter()
+        result = saturating_count(solver, [x], 5, Deadline.unlimited(),
+                                  calls)
+        assert result == 0
+
+    def test_formula_untouched_after_count(self):
+        solver, x = self.make(7)
+        calls = CallCounter()
+        saturating_count(solver, [x], 20, Deadline.unlimited(), calls)
+        # Counting again gives the same answer: blocks were popped.
+        result = saturating_count(solver, [x], 20, Deadline.unlimited(),
+                                  calls)
+        assert result == 7
+
+    def test_exact_boundary_is_saturated(self):
+        solver, x = self.make(10)
+        calls = CallCounter()
+        result = saturating_count(solver, [x], 10, Deadline.unlimited(),
+                                  calls)
+        assert result is SATURATED  # thresh solutions means >= thresh
+
+
+class TestFindBoundary:
+    def synthetic(self, sizes):
+        """count_at built from a fixed cell-size profile."""
+        probes = []
+
+        def count_at(index):
+            probes.append(index)
+            return sizes[index] if sizes[index] < 10 else SATURATED
+
+        return count_at, probes
+
+    def test_simple_ascent(self):
+        # counts halve per hash: 64 32 16 8 ...
+        sizes = [64, 32, 16, 8, 4, 2, 1, 0, 0]
+        count_at, probes = self.synthetic(sizes)
+        index, value, cache = find_boundary(count_at, 1, 8)
+        assert index == 3
+        assert value == 8
+        assert cache[2] is SATURATED
+
+    def test_starts_from_previous_boundary(self):
+        sizes = [99] * 12 + [5] + [2] * 4
+        count_at, probes = self.synthetic(sizes)
+        index, value, _ = find_boundary(count_at, 12, 16)
+        assert index == 12
+        assert value == 5
+        assert len(probes) <= 6  # gallop down + bisect: O(log start)
+
+    def test_descends_when_start_too_deep(self):
+        sizes = [64, 32, 16, 8, 4, 2, 1, 0, 0]
+        count_at, probes = self.synthetic(sizes)
+        index, value, _ = find_boundary(count_at, 8, 8)
+        assert index == 3
+        assert value == 8
+
+    def test_logarithmic_probe_count(self):
+        """The section III-D claim: O(log |S|) oracle calls."""
+        boundary = 37
+        sizes = [99] * boundary + [3] + [1] * 30
+        count_at, probes = self.synthetic(sizes)
+        index, _, _ = find_boundary(count_at, 1, 64)
+        assert index == boundary
+        assert len(probes) <= 2 * 7 + 2  # ~2 log2(64)
+
+    def test_boundary_at_one(self):
+        sizes = [99, 2, 1, 1]
+        count_at, _ = self.synthetic(sizes)
+        index, value, _ = find_boundary(count_at, 1, 3)
+        assert index == 1 and value == 2
+
+    def test_saturation_to_cap_raises(self):
+        sizes = [99] * 9
+        count_at, _ = self.synthetic(sizes)
+        with pytest.raises(CounterError):
+            find_boundary(count_at, 1, 8)
+
+    def test_empty_projection_cap_raises(self):
+        with pytest.raises(CounterError):
+            find_boundary(lambda i: 0, 1, 0)

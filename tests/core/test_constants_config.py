@@ -1,0 +1,65 @@
+"""Algorithm 3 (GetConstants) and PactConfig validation."""
+
+import math
+
+import pytest
+
+from repro.core import PactConfig, get_constants
+from repro.errors import CounterError
+
+
+class TestGetConstants:
+    def test_paper_parameters_xor(self):
+        """The paper's setting: eps = 0.8, delta = 0.2 (section IV)."""
+        thresh, iterations, slice_width = get_constants(0.8, 0.2, "xor")
+        expected_thresh = 1 + math.ceil(
+            9.84 * (1 + 0.8 / 1.8) * (1 + 1 / 0.8) ** 2)
+        assert thresh == expected_thresh
+        assert iterations == math.ceil(17 * math.log(3 / 0.2))
+        assert slice_width == 1
+
+    def test_paper_parameters_word_level(self):
+        for family in ("prime", "shift"):
+            thresh, iterations, slice_width = get_constants(0.8, 0.2,
+                                                            family)
+            assert iterations == math.ceil(23 * math.log(3 / 0.2))
+            assert slice_width == 4
+
+    def test_thresh_decreases_with_epsilon(self):
+        loose = get_constants(2.0, 0.2, "xor")[0]
+        tight = get_constants(0.3, 0.2, "xor")[0]
+        assert loose < tight
+
+    def test_iterations_grow_with_confidence(self):
+        few = get_constants(0.8, 0.5, "xor")[1]
+        many = get_constants(0.8, 0.01, "xor")[1]
+        assert few < many
+
+    def test_xor_needs_fewer_iterations(self):
+        # 17 log(3/d) vs 23 log(3/d)
+        assert (get_constants(0.8, 0.2, "xor")[1]
+                < get_constants(0.8, 0.2, "prime")[1])
+
+
+class TestPactConfig:
+    def test_defaults_match_paper(self):
+        config = PactConfig()
+        assert config.epsilon == 0.8
+        assert config.delta == 0.2
+        assert config.family == "xor"
+
+    def test_bad_epsilon(self):
+        with pytest.raises(CounterError):
+            PactConfig(epsilon=0)
+
+    def test_bad_delta(self):
+        with pytest.raises(CounterError):
+            PactConfig(delta=1.0)
+
+    def test_bad_family(self):
+        with pytest.raises(CounterError):
+            PactConfig(family="fnv")
+
+    def test_bad_override(self):
+        with pytest.raises(CounterError):
+            PactConfig(iteration_override=0)

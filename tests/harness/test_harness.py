@@ -1,0 +1,165 @@
+"""Harness tests: presets, runner, the three experiment modules."""
+
+import pytest
+
+from repro.benchgen.generators import qf_bvfp
+from repro.harness.accuracy import accuracy_csv, accuracy_table, error_series
+from repro.harness.cactus import cactus_csv, cactus_series, cactus_table
+from repro.harness.presets import Preset
+from repro.harness.report import ascii_plot, format_table, to_csv
+from repro.harness.runner import RunRecord, run_configuration, run_matrix
+from repro.harness.table1 import PAPER_TABLE1, solved_by_logic, table1_rows
+
+
+class TestPresets:
+    def test_paper_preset_is_faithful(self):
+        preset = Preset.paper()
+        assert preset.timeout == 3600.0
+        assert preset.epsilon == 0.8
+        assert preset.delta == 0.2
+        assert preset.iteration_override is None
+        assert preset.min_count == 500
+
+    def test_scaled_presets_shrink(self):
+        paper, laptop, smoke = (Preset.paper(), Preset.laptop(),
+                                Preset.smoke())
+        assert smoke.timeout < laptop.timeout < paper.timeout
+        assert (smoke.instances_per_logic < laptop.instances_per_logic
+                < paper.instances_per_logic)
+
+    def test_by_name(self):
+        assert Preset.by_name("smoke").name == "smoke"
+        with pytest.raises(ValueError):
+            Preset.by_name("cluster")
+
+
+class TestRunner:
+    def test_run_configuration_pact(self):
+        instance = qf_bvfp(seed=1, width=9)
+        record = run_configuration("pact_xor", instance, Preset.smoke())
+        assert record.solved
+        assert record.logic == "QF_BVFP"
+        assert record.relative_error is not None
+        assert record.relative_error <= 0.8
+
+    def test_run_configuration_timeout_recorded(self):
+        instance = qf_bvfp(seed=1, width=13)
+        tight = Preset(name="tight", instances_per_logic=1,
+                       timeout=0.01, iteration_override=1)
+        record = run_configuration("cdm", instance, tight)
+        assert not record.solved
+        assert record.status in ("timeout", "error")
+
+    def test_unknown_family_reported_as_error(self):
+        instance = qf_bvfp(seed=1, width=9)
+        record = run_configuration("pact_md5", instance, Preset.smoke())
+        assert not record.solved
+        assert record.status == "error"
+
+    def test_unknown_configuration_raises(self):
+        instance = qf_bvfp(seed=1, width=9)
+        with pytest.raises(ValueError):
+            run_configuration("minisat", instance, Preset.smoke())
+
+    def test_run_matrix_shape(self):
+        instance = qf_bvfp(seed=2, width=9)
+        records = run_matrix([instance], Preset.smoke(),
+                             configurations=("pact_xor", "pact_shift"))
+        assert len(records) == 2
+        assert {r.configuration for r in records} == {"pact_xor",
+                                                      "pact_shift"}
+
+
+def _record(configuration, logic, solved, time_seconds=1.0,
+            estimate=100, known=100):
+    return RunRecord(configuration=configuration, instance=f"i_{logic}",
+                     logic=logic, solved=solved, estimate=estimate,
+                     known_count=known, time_seconds=time_seconds,
+                     solver_calls=10, status="ok" if solved else "timeout")
+
+
+class TestTable1Formatting:
+    def test_solved_by_logic(self):
+        records = [
+            _record("pact_xor", "QF_ABV", True),
+            _record("pact_xor", "QF_ABV", True),
+            _record("cdm", "QF_ABV", False),
+        ]
+        counts = solved_by_logic(records)
+        assert counts["QF_ABV"]["pact_xor"] == 2
+        assert counts["QF_ABV"]["cdm"] == 0
+
+    def test_rows_include_totals(self):
+        records = [_record("pact_xor", "QF_ABV", True),
+                   _record("pact_prime", "QF_BVFP", True)]
+        rows = table1_rows(records)
+        assert rows[-1][0] == "Total"
+        assert rows[-1][4] == 1  # pact_xor total
+
+    def test_paper_reference_shape(self):
+        """The hard-coded paper numbers satisfy the claims we test."""
+        for logic, row in PAPER_TABLE1.items():
+            assert row["pact_xor"] >= max(row["pact_prime"],
+                                          row["pact_shift"]), logic
+        totals = {c: sum(row[c] for row in PAPER_TABLE1.values())
+                  for c in ("cdm", "pact_prime", "pact_shift",
+                            "pact_xor")}
+        assert totals == {"cdm": 83, "pact_prime": 33,
+                          "pact_shift": 40, "pact_xor": 456}
+
+
+class TestCactus:
+    def test_series_sorted_cumulative(self):
+        records = [_record("pact_xor", "QF_ABV", True, 3.0),
+                   _record("pact_xor", "QF_ABV", True, 1.0),
+                   _record("pact_xor", "QF_ABV", False, 9.0)]
+        series = cactus_series(records)
+        assert series["pact_xor"] == [(1, 1.0), (2, 3.0)]
+
+    def test_csv_and_table(self):
+        records = [_record("pact_xor", "QF_ABV", True, 2.0)]
+        assert "pact_xor" in cactus_table(records)
+        csv_text = cactus_csv(records)
+        assert "configuration,instances_solved,time_seconds" in csv_text
+
+
+class TestAccuracy:
+    def test_error_series_indexes_instances(self):
+        records = [
+            _record("pact_xor", "QF_ABV", True, estimate=110, known=100),
+            _record("pact_prime", "QF_ABV", True, estimate=120,
+                    known=100),
+        ]
+        series = error_series(records)
+        assert series["pact_xor"][0][1] == pytest.approx(0.1)
+        assert series["pact_prime"][0][1] == pytest.approx(0.2)
+
+    def test_table_flags_bound_violation(self):
+        records = [_record("pact_xor", "QF_ABV", True, estimate=300,
+                           known=100)]
+        table = accuracy_table(records, epsilon=0.8)
+        assert "NO" in table
+
+    def test_csv(self):
+        records = [_record("pact_xor", "QF_ABV", True)]
+        assert "relative_error" in accuracy_csv(records)
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        table = format_table(["a", "bbb"], [[1, 2], [333, 4]],
+                             title="T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bbb" in lines[1]
+
+    def test_to_csv(self):
+        assert to_csv(["x"], [[1], [2]]).splitlines() == ["x", "1", "2"]
+
+    def test_ascii_plot_renders(self):
+        plot = ascii_plot({"s": [(0.0, 0.0), (1.0, 1.0)]})
+        assert "x" in plot
+        assert "s" in plot
+
+    def test_ascii_plot_empty(self):
+        assert ascii_plot({}) == "(no data)"

@@ -1,0 +1,57 @@
+"""DIMACS parsing/writing tests."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sat.dimacs import load_solver, parse_dimacs, write_dimacs
+
+
+class TestParse:
+    def test_simple_cnf(self):
+        text = "c comment\np cnf 3 2\n1 -2 0\n2 3 0\n"
+        num_vars, clauses, xors = parse_dimacs(text)
+        assert num_vars == 3
+        assert clauses == [[1, -2], [2, 3]]
+        assert xors == []
+
+    def test_xor_rows(self):
+        text = "p cnf 3 1\nx1 -2 3 0\n"
+        _, clauses, xors = parse_dimacs(text)
+        assert clauses == []
+        assert xors == [([1, 2, 3], False)]  # one negation flips parity
+
+    def test_missing_terminator(self):
+        with pytest.raises(ParseError):
+            parse_dimacs("p cnf 1 1\n1\n")
+
+    def test_clause_before_header(self):
+        with pytest.raises(ParseError):
+            parse_dimacs("1 0\n")
+
+    def test_out_of_range_literal(self):
+        with pytest.raises(ParseError):
+            parse_dimacs("p cnf 1 1\n2 0\n")
+
+    def test_bad_header(self):
+        with pytest.raises(ParseError):
+            parse_dimacs("p dnf 1 1\n1 0\n")
+
+
+class TestRoundTrip:
+    def test_write_then_parse(self):
+        text = write_dimacs(4, [[1, -2], [3, 4]], [([1, 4], True)])
+        num_vars, clauses, xors = parse_dimacs(text)
+        assert num_vars == 4
+        assert clauses == [[1, -2], [3, 4]]
+        assert xors == [([1, 4], True)]
+
+    def test_negative_rhs_round_trip(self):
+        text = write_dimacs(2, [], [([1, 2], False)])
+        _, _, xors = parse_dimacs(text)
+        assert xors == [([1, 2], False)]
+
+    def test_load_solver_solves(self):
+        solver = load_solver("p cnf 2 2\n1 0\nx1 2 0\n")
+        assert solver.solve() is True
+        assert solver.model_value(1) is True
+        assert solver.model_value(2) is False

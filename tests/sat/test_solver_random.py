@@ -1,0 +1,119 @@
+"""Randomised cross-checks of the CDCL solver against brute force."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sat import SatSolver
+
+
+def brute_force_sat(num_vars, clauses, xors=()):
+    """Exhaustive satisfiability check for small instances."""
+    for bits in itertools.product([False, True], repeat=num_vars):
+        assignment = (False,) + bits  # 1-based
+        ok = all(
+            any(assignment[abs(lit)] == (lit > 0) for lit in clause)
+            for clause in clauses
+        )
+        if ok and all(
+            sum(assignment[v] for v in variables) % 2 == (1 if rhs else 0)
+            for variables, rhs in xors
+        ):
+            return True
+    return False
+
+
+def brute_force_count(num_vars, clauses, xors=()):
+    count = 0
+    for bits in itertools.product([False, True], repeat=num_vars):
+        assignment = (False,) + bits
+        ok = all(
+            any(assignment[abs(lit)] == (lit > 0) for lit in clause)
+            for clause in clauses
+        )
+        if ok and all(
+            sum(assignment[v] for v in variables) % 2 == (1 if rhs else 0)
+            for variables, rhs in xors
+        ):
+            count += 1
+    return count
+
+
+def random_clauses(rng, num_vars, num_clauses, width=3):
+    clauses = []
+    for _ in range(num_clauses):
+        size = rng.randint(1, width)
+        variables = rng.sample(range(1, num_vars + 1), min(size, num_vars))
+        clauses.append(
+            [v if rng.random() < 0.5 else -v for v in variables]
+        )
+    return clauses
+
+
+@pytest.mark.parametrize("seed", range(30))
+def test_random_3sat_agrees_with_brute_force(seed):
+    rng = random.Random(seed)
+    num_vars = rng.randint(3, 9)
+    num_clauses = rng.randint(2, 4 * num_vars)
+    clauses = random_clauses(rng, num_vars, num_clauses)
+    solver = SatSolver()
+    solver.new_vars(num_vars)
+    consistent = True
+    for clause in clauses:
+        consistent = solver.add_clause(clause) and consistent
+    expected = brute_force_sat(num_vars, clauses)
+    if not consistent:
+        assert expected is False
+    else:
+        result = solver.solve()
+        assert result == expected
+        if result:
+            model = solver.model()
+            for clause in clauses:
+                assert any(model[abs(lit)] == (lit > 0) for lit in clause)
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=40, deadline=None)
+def test_hypothesis_random_instances(seed):
+    rng = random.Random(seed)
+    num_vars = rng.randint(2, 8)
+    clauses = random_clauses(rng, num_vars, rng.randint(1, 24))
+    solver = SatSolver()
+    solver.new_vars(num_vars)
+    consistent = True
+    for clause in clauses:
+        consistent = solver.add_clause(clause) and consistent
+    expected = brute_force_sat(num_vars, clauses)
+    result = solver.solve() if consistent else False
+    assert result == expected
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_enumeration_matches_brute_force_count(seed):
+    """Blocking-clause enumeration yields exactly the brute-force count."""
+    rng = random.Random(1000 + seed)
+    num_vars = rng.randint(2, 7)
+    clauses = random_clauses(rng, num_vars, rng.randint(1, 12))
+    solver = SatSolver()
+    solver.new_vars(num_vars)
+    consistent = True
+    for clause in clauses:
+        consistent = solver.add_clause(clause) and consistent
+    expected = brute_force_count(num_vars, clauses)
+    if not consistent:
+        assert expected == 0
+        return
+    count = 0
+    while solver.solve():
+        count += 1
+        assert count <= 2 ** num_vars, "enumeration runaway"
+        blocking = [
+            -v if solver.model_value(v) else v
+            for v in range(1, num_vars + 1)
+        ]
+        if not solver.add_clause(blocking):
+            break
+    assert count == expected

@@ -1,0 +1,222 @@
+"""Array and UF elimination tests."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.errors import UnsupportedFeatureError
+from repro.smt import (
+    And, BitVecSort, BoolSort, Equals, Ite, Not, SmtSolver, apply_uf,
+    array_var, bool_var, bv_add, bv_ult, bv_val, bv_var, select, store, uf,
+)
+from repro.smt.evaluator import evaluate
+from repro.smt.semantics import ArrayValue, FunctionValue
+
+
+class TestArrays:
+    def test_read_over_write_same_index(self):
+        a = array_var("row_a", BitVecSort(4), BitVecSort(8))
+        i = bv_var("row_i", 4)
+        solver = SmtSolver()
+        solver.assert_term(
+            Equals(select(store(a, i, bv_val(42, 8)), i), bv_val(42, 8)))
+        assert solver.check() is True
+        solver2 = SmtSolver()
+        solver2.assert_term(Not(
+            Equals(select(store(a, i, bv_val(42, 8)), i), bv_val(42, 8))))
+        assert solver2.check() is False
+
+    def test_read_over_write_distinct_index(self):
+        a = array_var("rw_a", BitVecSort(4), BitVecSort(8))
+        i, j = bv_var("rw_i", 4), bv_var("rw_j", 4)
+        solver = SmtSolver()
+        solver.assert_term(Not(Equals(i, j)))
+        solver.assert_term(Equals(select(a, j), bv_val(1, 8)))
+        solver.assert_term(
+            Equals(select(store(a, i, bv_val(9, 8)), j), bv_val(2, 8)))
+        assert solver.check() is False  # store at i cannot change index j
+
+    def test_select_congruence(self):
+        a = array_var("cong_a", BitVecSort(4), BitVecSort(8))
+        i, j = bv_var("cong_i", 4), bv_var("cong_j", 4)
+        solver = SmtSolver()
+        solver.assert_term(Equals(i, j))
+        solver.assert_term(Equals(select(a, i), bv_val(1, 8)))
+        solver.assert_term(Equals(select(a, j), bv_val(2, 8)))
+        assert solver.check() is False
+
+    def test_congruence_across_assertions_incremental(self):
+        """Selects asserted in different frames still congruent."""
+        a = array_var("inc_a", BitVecSort(4), BitVecSort(8))
+        i, j = bv_var("inc_i", 4), bv_var("inc_j", 4)
+        solver = SmtSolver()
+        solver.assert_term(Equals(select(a, i), bv_val(1, 8)))
+        solver.push()
+        solver.assert_term(Equals(select(a, j), bv_val(2, 8)))
+        solver.assert_term(Equals(i, j))
+        assert solver.check() is False
+        solver.pop()
+        solver.assert_term(Equals(i, j))
+        assert solver.check() is True  # the conflicting select is gone
+
+    def test_nested_stores(self):
+        a = array_var("nest_a", BitVecSort(3), BitVecSort(4))
+        stored = store(store(a, bv_val(1, 3), bv_val(5, 4)),
+                       bv_val(2, 3), bv_val(6, 4))
+        solver = SmtSolver()
+        solver.assert_term(Equals(select(stored, bv_val(1, 3)),
+                                  bv_val(5, 4)))
+        solver.assert_term(Equals(select(stored, bv_val(2, 3)),
+                                  bv_val(6, 4)))
+        assert solver.check() is True
+
+    def test_store_shadowing(self):
+        a = array_var("shadow_a", BitVecSort(3), BitVecSort(4))
+        i = bv_val(1, 3)
+        stored = store(store(a, i, bv_val(5, 4)), i, bv_val(7, 4))
+        solver = SmtSolver()
+        solver.assert_term(Equals(select(stored, i), bv_val(5, 4)))
+        assert solver.check() is False  # later store wins
+
+    def test_array_ite(self):
+        a = array_var("ite_a", BitVecSort(3), BitVecSort(4))
+        b = array_var("ite_b", BitVecSort(3), BitVecSort(4))
+        cond = bool_var("ite_cond")
+        i = bv_val(0, 3)
+        solver = SmtSolver()
+        solver.assert_term(Equals(select(a, i), bv_val(1, 4)))
+        solver.assert_term(Equals(select(b, i), bv_val(2, 4)))
+        solver.assert_term(Equals(select(Ite(cond, a, b), i), bv_val(2, 4)))
+        assert solver.check() is True
+        assert solver.model().value(cond) is False
+
+    def test_array_equality_unsupported(self):
+        a = array_var("eq_a", BitVecSort(3), BitVecSort(4))
+        b = array_var("eq_b", BitVecSort(3), BitVecSort(4))
+        solver = SmtSolver()
+        with pytest.raises(UnsupportedFeatureError):
+            solver.assert_term(Equals(a, b))
+
+    def test_model_reconstruction_validates(self):
+        a = array_var("mod_a", BitVecSort(4), BitVecSort(8))
+        i, j = bv_var("mod_i", 4), bv_var("mod_j", 4)
+        assertion = And(
+            Equals(select(a, i), bv_add(select(a, j), bv_val(1, 8))),
+            Not(Equals(i, j)),
+            bv_ult(bv_val(3, 8), select(a, i)),
+        )
+        solver = SmtSolver()
+        solver.assert_term(assertion)
+        assert solver.check() is True
+        model = solver.model()
+        assert model.value(assertion) is True
+        array_value = model.value(a)
+        assert isinstance(array_value, ArrayValue)
+
+
+class TestUf:
+    def test_congruence(self):
+        f = uf("tc_f", [BitVecSort(4)], BitVecSort(4))
+        x, y = bv_var("tc_x", 4), bv_var("tc_y", 4)
+        solver = SmtSolver()
+        solver.assert_term(Equals(x, y))
+        solver.assert_term(
+            Not(Equals(apply_uf(f, x), apply_uf(f, y))))
+        assert solver.check() is False
+
+    def test_different_args_may_differ(self):
+        f = uf("dd_f", [BitVecSort(4)], BitVecSort(4))
+        x, y = bv_var("dd_x", 4), bv_var("dd_y", 4)
+        solver = SmtSolver()
+        solver.assert_term(Not(Equals(x, y)))
+        solver.assert_term(Not(Equals(apply_uf(f, x), apply_uf(f, y))))
+        assert solver.check() is True
+
+    def test_multi_argument_congruence(self):
+        g = uf("ma_g", [BitVecSort(3), BitVecSort(3)], BoolSort())
+        x, y = bv_var("ma_x", 3), bv_var("ma_y", 3)
+        solver = SmtSolver()
+        solver.assert_term(Equals(x, bv_val(1, 3)))
+        solver.assert_term(Equals(y, bv_val(1, 3)))
+        solver.assert_term(apply_uf(g, x, y))
+        solver.assert_term(Not(apply_uf(g, bv_val(1, 3), bv_val(1, 3))))
+        assert solver.check() is False
+
+    def test_function_composition(self):
+        f = uf("fc_f", [BitVecSort(4)], BitVecSort(4))
+        x = bv_var("fc_x", 4)
+        solver = SmtSolver()
+        # f(f(x)) = x, f(x) != x is satisfiable (an involution)
+        solver.assert_term(Equals(apply_uf(f, apply_uf(f, x)), x))
+        solver.assert_term(Not(Equals(apply_uf(f, x), x)))
+        assert solver.check() is True
+        model = solver.model()
+        function_value = model.value(f)
+        assert isinstance(function_value, FunctionValue)
+        x_value = model.value(x)
+        fx = function_value.apply((x_value,))
+        assert fx != x_value
+        assert function_value.apply((fx,)) == x_value
+
+    def test_uf_model_validates_assertions(self):
+        f = uf("mv_f", [BitVecSort(3)], BitVecSort(3))
+        x = bv_var("mv_x", 3)
+        assertion = And(
+            bv_ult(apply_uf(f, x), bv_val(5, 3)),
+            Equals(apply_uf(f, bv_val(0, 3)), bv_val(4, 3)),
+        )
+        solver = SmtSolver()
+        solver.assert_term(assertion)
+        assert solver.check() is True
+        assert solver.model().value(assertion) is True
+
+    def test_uf_over_bool_codomain(self):
+        p = uf("bc_p", [BitVecSort(2)], BoolSort())
+        solver = SmtSolver()
+        solver.assert_term(apply_uf(p, bv_val(0, 2)))
+        solver.assert_term(Not(apply_uf(p, bv_val(1, 2))))
+        assert solver.check() is True
+        model = solver.model()
+        table = model.value(p)
+        assert table.apply((0,)) is True
+        assert table.apply((1,)) is False
+
+
+class TestBruteForceCross:
+    """Small array formulas: solver verdict matches brute-force."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_array_formulas(self, seed):
+        rng = random.Random(seed)
+        index_width, element_width = 2, 2
+        a = array_var(f"bf_a{seed}", BitVecSort(index_width),
+                      BitVecSort(element_width))
+        i = bv_var(f"bf_i{seed}", index_width)
+
+        constraints = []
+        for _ in range(rng.randint(1, 3)):
+            idx = (i if rng.random() < 0.5
+                   else bv_val(rng.randrange(4), index_width))
+            value = bv_val(rng.randrange(4), element_width)
+            if rng.random() < 0.5:
+                constraints.append(Equals(select(a, idx), value))
+            else:
+                constraints.append(Not(Equals(select(a, idx), value)))
+        formula = And(*constraints)
+
+        solver = SmtSolver()
+        solver.assert_term(formula)
+        got = solver.check()
+
+        expected = False
+        for table in itertools.product(range(4), repeat=4):
+            array_value = ArrayValue(dict(enumerate(table)))
+            for i_value in range(4):
+                assignment = {a: array_value, i: i_value}
+                if evaluate(formula, assignment):
+                    expected = True
+                    break
+            if expected:
+                break
+        assert got == expected

@@ -1,0 +1,216 @@
+"""SMT-LIB parser and printer tests, including round-trips."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import ParseError, UnsupportedFeatureError
+from repro.smt import SmtSolver, bv_val, bv_var
+from repro.smt.parser import parse_script, parse_term_string
+from repro.smt.printer import print_term, write_script
+from repro.smt.ops import Op
+
+
+class TestCommands:
+    def test_minimal_script(self):
+        script = parse_script("""
+            (set-logic QF_BV)
+            (declare-fun x () (_ BitVec 8))
+            (assert (bvult x #x10))
+            (check-sat)
+        """)
+        assert script.logic == "QF_BV"
+        assert len(script.assertions) == 1
+        assert script.check_sat_seen
+        assert "x" in script.declarations
+
+    def test_declare_const(self):
+        script = parse_script("""
+            (declare-const b Bool)
+            (assert b)
+        """)
+        assert script.assertions[0].name == "b"
+
+    def test_projection_info(self):
+        script = parse_script("""
+            (declare-fun x () (_ BitVec 4))
+            (declare-fun y () (_ BitVec 4))
+            (set-info :projected-vars (x y))
+            (assert (bvult x y))
+        """)
+        assert [v.name for v in script.projection] == ["x", "y"]
+
+    def test_define_fun_inlined(self):
+        script = parse_script("""
+            (set-logic QF_BV)
+            (declare-fun a () (_ BitVec 4))
+            (define-fun double ((v (_ BitVec 4))) (_ BitVec 4)
+                (bvadd v v))
+            (assert (= (double a) #x4))
+        """)
+        solver = SmtSolver()
+        solver.assert_term(script.assertions[0])
+        assert solver.check() is True
+        a = script.declarations["a"]
+        assert (2 * solver.bv_value(a)) % 16 == 4
+
+    def test_comments_and_whitespace(self):
+        script = parse_script("""
+            ; a comment
+            (set-logic QF_BV)  ; trailing comment
+            (declare-fun x () (_ BitVec 4))
+            (assert (= x x))
+        """)
+        assert len(script.assertions) == 1
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(ParseError):
+            parse_script("(frobnicate)")
+
+    def test_unbalanced_parens_rejected(self):
+        with pytest.raises(ParseError):
+            parse_script("(assert (and true")
+
+
+class TestTerms:
+    def test_literals(self):
+        assert parse_term_string("#b1010", {}).payload == 10
+        assert parse_term_string("#xff", {}).payload == 255
+        assert parse_term_string("(_ bv5 8)", {}).payload == 5
+        assert parse_term_string("5", {}).payload == Fraction(5)
+        assert parse_term_string("2.5", {}).payload == Fraction(5, 2)
+
+    def test_let_binding(self):
+        x = bv_var("x", 8)
+        term = parse_term_string(
+            "(let ((y (bvadd x #x01))) (bvult y x))", {"x": x})
+        assert term.op == Op.BV_ULT
+
+    def test_nested_let_shadowing(self):
+        x = bv_var("x", 8)
+        term = parse_term_string(
+            "(let ((y #x01)) (let ((y (bvadd y y))) (bvadd x y)))",
+            {"x": x})
+        solver = SmtSolver()
+        from repro.smt import Equals
+        solver.assert_term(Equals(term, bv_val(2, 8)))
+        solver.assert_term(Equals(x, bv_val(0, 8)))
+        assert solver.check() is True
+
+    def test_indexed_operators(self):
+        x = bv_var("x", 8)
+        env = {"x": x}
+        assert parse_term_string("((_ extract 3 0) x)", env).sort.width == 4
+        assert parse_term_string("((_ zero_extend 8) x)",
+                                 env).sort.width == 16
+        assert parse_term_string("((_ sign_extend 4) x)",
+                                 env).sort.width == 12
+
+    def test_rotate_desugars(self):
+        x = bv_var("x", 8)
+        term = parse_term_string("((_ rotate_left 3) x)", {"x": x})
+        from repro.smt.evaluator import evaluate
+        value = evaluate(term, {x: 0b10000001})
+        assert value == 0b00001100
+
+    def test_fp_literal(self):
+        term = parse_term_string("(fp #b0 #b011 #b010)", {})
+        assert term.sort.eb == 3 and term.sort.sb == 4
+        assert term.payload == 0b0_011_010
+
+    def test_fp_special_constants(self):
+        assert parse_term_string("(_ +oo 3 4)", {}).payload == 0b0_111_000
+        assert parse_term_string("(_ -zero 3 4)", {}).payload == 0b1_000_000
+        nan = parse_term_string("(_ NaN 3 4)", {})
+        assert nan.payload == 0b0_111_100
+
+    def test_chained_equality(self):
+        x, y, z = bv_var("x", 4), bv_var("y", 4), bv_var("z", 4)
+        term = parse_term_string("(= x y z)", {"x": x, "y": y, "z": z})
+        assert term.op == Op.AND
+
+    def test_nary_real_arithmetic(self):
+        from repro.smt import real_var
+        r = real_var("r")
+        term = parse_term_string("(+ r 1 2)", {"r": r})
+        from repro.smt.evaluator import evaluate
+        assert evaluate(term, {r: Fraction(1)}) == 4
+
+    def test_unary_minus(self):
+        term = parse_term_string("(- 5)", {})
+        from repro.smt.evaluator import evaluate
+        assert evaluate(term, {}) == -5
+
+    def test_non_rne_rounding_rejected(self):
+        with pytest.raises(UnsupportedFeatureError):
+            parse_script("""
+                (declare-fun x () (_ FloatingPoint 3 4))
+                (assert (fp.eq (fp.add RTZ x x) x))
+            """)
+
+    def test_uf_application(self):
+        script = parse_script("""
+            (declare-fun f ((_ BitVec 4)) (_ BitVec 4))
+            (declare-fun x () (_ BitVec 4))
+            (assert (= (f x) x))
+        """)
+        assert script.assertions[0].args[0].op == Op.APPLY
+
+    def test_smt_equals_on_fp_handles_nan(self):
+        script = parse_script("""
+            (declare-fun x () (_ FloatingPoint 3 4))
+            (assert (= x (_ NaN 3 4)))
+        """)
+        solver = SmtSolver()
+        solver.assert_term(script.assertions[0])
+        assert solver.check() is True  # NaN = NaN under SMT-LIB `=`
+
+
+class TestRoundTrip:
+    def roundtrip(self, text):
+        script = parse_script(text)
+        printed = write_script(script.assertions,
+                               logic=script.logic or "ALL",
+                               projection=script.projection)
+        reparsed = parse_script(printed)
+        assert len(reparsed.assertions) == len(script.assertions)
+        for a, b in zip(script.assertions, reparsed.assertions):
+            assert a is b, f"{print_term(a)} != {print_term(b)}"
+        return reparsed
+
+    def test_bv_roundtrip(self):
+        self.roundtrip("""
+            (set-logic QF_BV)
+            (declare-fun x () (_ BitVec 8))
+            (declare-fun y () (_ BitVec 8))
+            (assert (bvult (bvadd x y) (bvmul x #x03)))
+            (assert (= ((_ extract 3 0) x) #b0101))
+        """)
+
+    def test_mixed_roundtrip(self):
+        script = self.roundtrip("""
+            (set-logic QF_ABVFPLRA)
+            (declare-fun x () (_ BitVec 8))
+            (declare-fun r () Real)
+            (declare-fun q () Real)
+            (declare-fun h () (_ FloatingPoint 3 4))
+            (declare-fun arr () (Array (_ BitVec 4) (_ BitVec 8)))
+            (set-info :projected-vars (x))
+            (assert (or (bvult x #x10) (< r q)))
+            (assert (fp.leq h (fp.mul RNE h h)))
+            (assert (= (select arr #x1) x))
+            (assert (ite (fp.isNaN h) (< r 1.0) (<= q (/ 1.0 3.0))))
+        """)
+        assert [v.name for v in script.projection] == ["x"]
+
+    def test_projection_survives_roundtrip(self):
+        script = parse_script("""
+            (declare-fun a () (_ BitVec 4))
+            (declare-fun b () (_ BitVec 4))
+            (set-info :projected-vars (a b))
+            (assert (bvult a b))
+        """)
+        printed = write_script(script.assertions, "QF_BV",
+                               script.projection)
+        reparsed = parse_script(printed)
+        assert [v.name for v in reparsed.projection] == ["a", "b"]

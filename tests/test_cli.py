@@ -1,0 +1,71 @@
+"""CLI tests (count / enum / generate round trips)."""
+
+import pathlib
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def smt_file(tmp_path):
+    path = tmp_path / "toy.smt2"
+    path.write_text("""
+        (set-logic QF_BV)
+        (declare-fun x () (_ BitVec 6))
+        (set-info :projected-vars (x))
+        (assert (bvult x #b010100))
+    """)
+    return path
+
+
+class TestCount:
+    def test_count_xor(self, smt_file, capsys):
+        assert main(["count", str(smt_file), "--family", "xor"]) == 0
+        output = capsys.readouterr().out
+        assert "s exact 20" in output or "s approximate" in output
+
+    def test_count_project_override(self, smt_file, capsys):
+        code = main(["count", str(smt_file), "--project", "x"])
+        assert code == 0
+
+    def test_count_unknown_projection(self, smt_file):
+        assert main(["count", str(smt_file), "--project", "nope"]) == 2
+
+    def test_count_missing_projection(self, tmp_path):
+        path = tmp_path / "noproj.smt2"
+        path.write_text("""
+            (declare-fun x () (_ BitVec 4))
+            (assert (bvult x #x5))
+        """)
+        assert main(["count", str(path)]) == 2
+
+    def test_enum(self, smt_file, capsys):
+        assert main(["enum", str(smt_file)]) == 0
+        assert "s exact 20" in capsys.readouterr().out
+
+    def test_enum_limit(self, smt_file, capsys):
+        assert main(["enum", str(smt_file), "--limit", "3"]) == 1
+        assert "s limit" in capsys.readouterr().out
+
+
+class TestGenerate:
+    def test_generate_writes_files(self, tmp_path, capsys):
+        out = tmp_path / "bench"
+        code = main(["generate", "--logic", "QF_UFBV", "--out",
+                     str(out), "--count", "2", "--width", "9"])
+        assert code == 0
+        files = sorted(out.glob("*.smt2"))
+        assert len(files) == 2
+
+    def test_generated_file_counts(self, tmp_path, capsys):
+        out = tmp_path / "bench"
+        main(["generate", "--logic", "QF_BVFP", "--out", str(out),
+              "--count", "1", "--width", "8", "--seed", "5"])
+        capsys.readouterr()
+        smt2 = next(out.glob("*.smt2"))
+        assert main(["enum", str(smt2)]) == 0
+
+    def test_unknown_logic(self, tmp_path):
+        assert main(["generate", "--logic", "QF_LIA", "--out",
+                     str(tmp_path)]) == 2

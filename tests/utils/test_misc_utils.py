@@ -1,0 +1,117 @@
+"""Tests for rng, stats, luby and deadline utilities."""
+
+import math
+import time
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SolverTimeoutError
+from repro.utils import (
+    Deadline, SeedSequence, geometric_mean, luby, median, relative_error,
+)
+
+
+class TestSeedSequence:
+    def test_same_label_same_stream(self):
+        root = SeedSequence(7)
+        assert root.stream("a").random() == root.stream("a").random()
+
+    def test_different_labels_differ(self):
+        root = SeedSequence(7)
+        assert root.stream("a").random() != root.stream("b").random()
+
+    def test_different_seeds_differ(self):
+        assert (SeedSequence(1).stream("x").random()
+                != SeedSequence(2).stream("x").random())
+
+    def test_child_path_isolation(self):
+        root = SeedSequence(7)
+        a = root.child("iter1").stream("hash")
+        b = root.child("iter2").stream("hash")
+        assert a.random() != b.random()
+
+    def test_integer_in_range(self):
+        root = SeedSequence(3)
+        for i in range(100):
+            value = root.integer(f"i{i}", 5, 9)
+            assert 5 <= value <= 9
+
+
+class TestStats:
+    def test_median_odd(self):
+        assert median([3, 1, 2]) == 2
+
+    def test_median_even_lower_middle(self):
+        assert median([4, 1, 3, 2]) == 2
+
+    def test_median_single(self):
+        assert median([42]) == 42
+
+    def test_median_empty_raises(self):
+        with pytest.raises(ValueError):
+            median([])
+
+    def test_relative_error_exact(self):
+        assert relative_error(100, 100) == 0.0
+
+    def test_relative_error_symmetric(self):
+        assert relative_error(100, 50) == pytest.approx(1.0)
+        assert relative_error(50, 100) == pytest.approx(1.0)
+
+    def test_relative_error_matches_paper_definition(self):
+        # e = max(b/s, s/b) - 1
+        assert relative_error(128, 160) == pytest.approx(160 / 128 - 1)
+
+    def test_relative_error_zero_cases(self):
+        assert relative_error(0, 0) == 0.0
+        assert relative_error(0, 5) == math.inf
+
+    @given(st.integers(1, 10 ** 6), st.integers(1, 10 ** 6))
+    def test_relative_error_nonnegative(self, b, s):
+        assert relative_error(b, s) >= 0.0
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+
+    def test_geometric_mean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+
+class TestLuby:
+    def test_first_terms(self):
+        expected = [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]
+        assert [luby(i) for i in range(1, 16)] == expected
+
+    def test_powers_of_two_positions(self):
+        for k in range(1, 10):
+            assert luby((1 << k) - 1) == 1 << (k - 1)
+
+    def test_zero_raises(self):
+        with pytest.raises(ValueError):
+            luby(0)
+
+
+class TestDeadline:
+    def test_unlimited_never_expires(self):
+        deadline = Deadline.unlimited()
+        assert not deadline.expired()
+        assert deadline.remaining() == math.inf
+        deadline.check()  # must not raise
+
+    def test_zero_deadline_expires_immediately(self):
+        deadline = Deadline(0.0)
+        assert deadline.expired()
+        with pytest.raises(SolverTimeoutError):
+            deadline.check()
+
+    def test_negative_deadline_rejected(self):
+        with pytest.raises(ValueError):
+            Deadline(-1.0)
+
+    def test_remaining_decreases(self):
+        deadline = Deadline(10.0)
+        first = deadline.remaining()
+        time.sleep(0.01)
+        assert deadline.remaining() < first

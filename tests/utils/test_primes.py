@@ -1,0 +1,61 @@
+"""Tests for the Miller-Rabin primality test and next_prime."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.primes import is_prime, next_prime
+
+
+KNOWN_PRIMES = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53,
+                59, 61, 67, 71, 73, 79, 83, 89, 97, 101, 257, 65537,
+                2 ** 31 - 1]
+KNOWN_COMPOSITES = [0, 1, 4, 6, 8, 9, 15, 21, 25, 27, 33, 91, 561, 1105,
+                    2 ** 32 - 1, 2 ** 31]  # includes Carmichael numbers
+
+
+class TestIsPrime:
+    @pytest.mark.parametrize("n", KNOWN_PRIMES)
+    def test_known_primes(self, n):
+        assert is_prime(n)
+
+    @pytest.mark.parametrize("n", KNOWN_COMPOSITES)
+    def test_known_composites(self, n):
+        assert not is_prime(n)
+
+    def test_negative(self):
+        assert not is_prime(-7)
+
+    def test_matches_sieve_below_10000(self):
+        limit = 10_000
+        sieve = [True] * limit
+        sieve[0] = sieve[1] = False
+        for i in range(2, int(limit ** 0.5) + 1):
+            if sieve[i]:
+                for j in range(i * i, limit, i):
+                    sieve[j] = False
+        for n in range(limit):
+            assert is_prime(n) == sieve[n], n
+
+
+class TestNextPrime:
+    # The H_prime family needs "smallest prime > 2^l" (paper III-A).
+    @pytest.mark.parametrize("l, expected", [
+        (1, 3), (2, 5), (3, 11), (4, 17), (5, 37), (6, 67), (7, 131),
+        (8, 257), (16, 65537),
+    ])
+    def test_smallest_prime_above_power_of_two(self, l, expected):
+        assert next_prime(2 ** l) == expected
+
+    def test_below_two(self):
+        assert next_prime(0) == 2
+        assert next_prime(1) == 2
+        assert next_prime(-5) == 2
+
+    @given(st.integers(min_value=2, max_value=10 ** 9))
+    def test_result_is_prime_and_minimal(self, n):
+        p = next_prime(n)
+        assert p > n
+        assert is_prime(p)
+        # No prime strictly between n and p (spot-check small gaps).
+        for q in range(n + 1, min(p, n + 50)):
+            assert not is_prime(q)
