@@ -5,8 +5,10 @@ The package provides **pact**, an (epsilon, delta)-approximate projected
 model counter for hybrid SMT formulas, plus the entire substrate it needs
 (CDCL SAT solver with native XOR reasoning, bit-blasting SMT solver over
 QF_ABVFPLRA, SMT-LIB front end), the CDM baseline, an exact enumeration
-counter, benchmark generators for the paper's six logics, and the harness
-that regenerates every table and figure.  See DESIGN.md for the map.
+counter, benchmark generators for the paper's six logics, the harness
+that regenerates every table and figure, and :mod:`repro.engine` — the
+parallel execution subsystem (worker pools, iteration fan-out, matrix
+scheduling, fingerprint result cache).  See DESIGN.md for the map.
 
 Typical use::
 

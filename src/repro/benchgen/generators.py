@@ -27,6 +27,7 @@ from repro.smt.terms import (
     fp_leq, fp_lt, fp_var, real_lt, real_val, real_var, select, store, uf,
 )
 from repro.smt.theories.fp.softfloat import FpFormat, SoftFloat
+from repro.utils.rng import SeedSequence
 
 _FP_EB, _FP_SB = 3, 4
 _SF = SoftFloat(FpFormat(_FP_EB, _FP_SB))
@@ -183,7 +184,10 @@ class _Builder:
 
 def _make(logic: str, template: str, seed: int, width: int,
           garnishes, difficulty: int) -> Instance:
-    rng = random.Random((hash((logic, template, seed)) & 0xFFFFFFFF))
+    # SeedSequence, not hash(): Python string hashing is randomised per
+    # process, and instances must be identical across runs for the
+    # engine's fingerprint cache (and plain reproducibility).
+    rng = SeedSequence(seed, "benchgen").stream(f"{logic}/{template}")
     name = f"{logic.lower()}_{template}_{width}w_{seed:03d}"
     builder = _Builder(name, rng, width)
     builder.bv_core()

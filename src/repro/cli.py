@@ -4,14 +4,24 @@ Subcommands::
 
     pact count FILE.smt2 [--family xor] [--epsilon 0.8] [--delta 0.2]
                          [--project x,y] [--timeout T] [--seed N]
+                         [--jobs N] [--backend B]
+                         [--cache-dir DIR] [--no-cache]
     pact enum FILE.smt2  [--project x,y] [--timeout T] [--limit N]
     pact generate --logic QF_BVFP --out DIR [--count N] [--width W]
-    pact table1   [--preset smoke|laptop|paper] [--out DIR]
-    pact cactus   [--preset ...] [--out DIR]
-    pact accuracy [--preset ...] [--out DIR]
+    pact run      [--preset smoke|laptop|paper] [--jobs N] [--backend B]
+                  [--cache-dir DIR] [--no-cache] [--out DIR]
+    pact table1   [--preset smoke|laptop|paper] [--jobs N] [--out DIR]
+    pact cactus   [--preset ...] [--jobs N] [--out DIR]
+    pact accuracy [--preset ...] [--jobs N] [--out DIR]
 
 ``FILE.smt2`` may declare the projection set via
 ``(set-info :projected-vars (x y))``; ``--project`` overrides it.
+
+``--jobs N`` executes iterations (``count``) or matrix slots (``run``
+and the experiments) across N workers via :mod:`repro.engine`; results
+are bit-identical to ``--jobs 1``.  ``run`` keeps a fingerprint result
+cache (default ``.pact-cache/``) so repeated invocations skip solved
+slots; ``--no-cache`` disables it.
 """
 
 from __future__ import annotations
@@ -22,11 +32,13 @@ import sys
 
 from repro.benchgen.generators import GENERATORS
 from repro.core import cdm_count, count_projected, exact_count
+from repro.engine import ExecutionPool, ResultCache, formula_fingerprint
 from repro.errors import ReproError
 from repro.harness.accuracy import accuracy_csv, accuracy_plot, run_accuracy
 from repro.harness.cactus import cactus_csv, cactus_plot, cactus_table
 from repro.harness.presets import Preset
-from repro.harness.table1 import run_table1
+from repro.harness.report import matrix_summary, records_csv
+from repro.harness.table1 import run_table1, table1_rows
 from repro.smt.parser import parse_script
 
 
@@ -47,22 +59,64 @@ def _load(path: str, project: str | None):
     return script.assertions, projection
 
 
+def _make_pool(args) -> ExecutionPool | None:
+    jobs = getattr(args, "jobs", 1)
+    backend = getattr(args, "backend", None)
+    if (jobs is None or jobs == 1) and backend is None:
+        return None
+    return ExecutionPool(jobs=jobs, backend=backend)
+
+
+def _make_cache(args, default_dir: str | None = None) -> ResultCache | None:
+    if getattr(args, "no_cache", False):
+        return None
+    cache_dir = getattr(args, "cache_dir", None) or default_dir
+    if cache_dir is None:
+        return None
+    return ResultCache(cache_dir)
+
+
 def _cmd_count(args) -> int:
     assertions, projection = _load(args.file, args.project)
+    pool = _make_pool(args)
+    cache = _make_cache(args)
+
+    fingerprint = None
+    if cache is not None:
+        fingerprint = formula_fingerprint(
+            assertions, projection,
+            {"family": args.family, "epsilon": args.epsilon,
+             "delta": args.delta, "seed": args.seed,
+             "timeout": args.timeout})
+        entry = cache.get(fingerprint)
+        if entry is not None and entry["status"] == "ok":
+            kind = "exact" if entry.get("exact") else "approximate"
+            print(f"s {kind} {entry['estimate']}")
+            print(f"c cache hit ({cache.path}); originally solved in "
+                  f"{entry.get('time_seconds', 0.0):.2f}s")
+            return 0
+
     if args.family == "cdm":
         result = cdm_count(assertions, projection, epsilon=args.epsilon,
                            delta=args.delta, seed=args.seed,
-                           timeout=args.timeout)
+                           timeout=args.timeout, pool=pool)
     else:
         result = count_projected(
             assertions, projection, epsilon=args.epsilon,
             delta=args.delta, family=args.family, seed=args.seed,
-            timeout=args.timeout)
+            timeout=args.timeout, pool=pool)
     if result.solved:
         kind = "exact" if result.exact else "approximate"
         print(f"s {kind} {result.estimate}")
         print(f"c solver_calls {result.solver_calls} "
               f"time {result.time_seconds:.2f}s family {result.family}")
+        if cache is not None:
+            cache.put(fingerprint, {
+                "estimate": result.estimate, "status": result.status,
+                "exact": result.exact,
+                "time_seconds": result.time_seconds,
+                "solver_calls": result.solver_calls})
+            cache.flush()
         return 0
     print(f"s {result.status}")
     return 1
@@ -95,20 +149,60 @@ def _cmd_generate(args) -> int:
     return 0
 
 
+def _progress_printer(record) -> None:
+    status = "ok" if record.solved else record.status
+    source = "cache" if record.cached else f"{record.time_seconds:6.2f}s"
+    print(f"  [{record.configuration:>10}] {record.instance:<32} "
+          f"{status:>8} {source:>8}", flush=True)
+
+
+def _cmd_run(args) -> int:
+    """The full evaluation matrix with pool + fingerprint cache."""
+    from repro.engine.scheduler import schedule_matrix
+    from repro.harness.report import format_table
+    from repro.harness.table1 import table1_suite
+
+    preset = Preset.by_name(args.preset)
+    pool = _make_pool(args) or ExecutionPool(jobs=1)
+    cache = _make_cache(args, default_dir=".pact-cache")
+
+    instances = table1_suite(preset)
+    print(f"running {len(instances)} instances x 4 configurations "
+          f"(preset={preset.name}, jobs={pool.jobs}, "
+          f"backend={pool.backend}, "
+          f"cache={'off' if cache is None else cache.path})")
+    run = schedule_matrix(
+        instances, preset, pool=pool, cache=cache,
+        progress=_progress_printer if args.verbose else None)
+
+    summary = matrix_summary(run, preset)
+    table = format_table(
+        ["Logic", "CDM", "pact_prime", "pact_shift", "pact_xor"],
+        table1_rows(run.records),
+        title=f"Instances counted (preset={preset.name})")
+    print(summary)
+    print()
+    print(table)
+    if args.out:
+        out = pathlib.Path(args.out)
+        out.mkdir(parents=True, exist_ok=True)
+        (out / "run_summary.txt").write_text(
+            summary + "\n\n" + table + "\n")
+        (out / "run_records.csv").write_text(records_csv(run.records))
+        print(f"\nwrote {out}/run_summary.txt, run_records.csv")
+    return 0
+
+
 def _experiment(args, runner) -> int:
     preset = Preset.by_name(args.preset)
     out = pathlib.Path(args.out) if args.out else None
-
-    def progress(record):
-        status = "ok" if record.solved else record.status
-        print(f"  [{record.configuration:>10}] {record.instance:<32} "
-              f"{status:>8} {record.time_seconds:6.2f}s", flush=True)
-
-    return runner(preset, out, progress if args.verbose else None)
+    pool = _make_pool(args)
+    progress = _progress_printer if args.verbose else None
+    return runner(preset, out, progress, pool)
 
 
-def _run_table1(preset, out, progress) -> int:
-    records, table = run_table1(preset, progress=progress)
+def _run_table1(preset, out, progress, pool) -> int:
+    records, table = run_table1(preset, progress=progress, pool=pool)
     print(table)
     print()
     print(cactus_table(records))
@@ -122,8 +216,8 @@ def _run_table1(preset, out, progress) -> int:
     return 0
 
 
-def _run_cactus(preset, out, progress) -> int:
-    records, _ = run_table1(preset, progress=progress)
+def _run_cactus(preset, out, progress, pool) -> int:
+    records, _ = run_table1(preset, progress=progress, pool=pool)
     print(cactus_table(records))
     print()
     print(cactus_plot(records))
@@ -133,8 +227,8 @@ def _run_cactus(preset, out, progress) -> int:
     return 0
 
 
-def _run_accuracy(preset, out, progress) -> int:
-    records, table = run_accuracy(preset, progress=progress)
+def _run_accuracy(preset, out, progress, pool) -> int:
+    records, table = run_accuracy(preset, progress=progress, pool=pool)
     print(table)
     print()
     print(accuracy_plot(records, preset.epsilon))
@@ -143,6 +237,19 @@ def _run_accuracy(preset, out, progress) -> int:
         (out / "fig2_accuracy.csv").write_text(accuracy_csv(records))
         (out / "fig2_accuracy.txt").write_text(table + "\n")
     return 0
+
+
+def _add_engine_arguments(parser, cache: bool = True) -> None:
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker count (0 = one per CPU)")
+    parser.add_argument("--backend", default=None,
+                        choices=["serial", "thread", "process"],
+                        help="pool backend (default: process when jobs>1)")
+    if cache:
+        parser.add_argument("--cache-dir", default=None,
+                            help="fingerprint result cache directory")
+        parser.add_argument("--no-cache", action="store_true",
+                            help="disable the result cache")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -162,6 +269,7 @@ def build_parser() -> argparse.ArgumentParser:
     count.add_argument("--timeout", type=float, default=None)
     count.add_argument("--project", default=None,
                        help="comma-separated projection variables")
+    _add_engine_arguments(count)
     count.set_defaults(handler=_cmd_count)
 
     enum = sub.add_parser("enum", help="exact count by enumeration")
@@ -180,6 +288,15 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--seed", type=int, default=0)
     generate.set_defaults(handler=_cmd_generate)
 
+    run = sub.add_parser(
+        "run", help="the evaluation matrix with pool + result cache")
+    run.add_argument("--preset", default="smoke",
+                     choices=["smoke", "laptop", "paper"])
+    run.add_argument("--out", default=None)
+    run.add_argument("--verbose", action="store_true")
+    _add_engine_arguments(run)
+    run.set_defaults(handler=_cmd_run)
+
     for name, runner, help_text in (
             ("table1", _run_table1, "Table I: instances counted per logic"),
             ("cactus", _run_cactus, "Fig. 1: cactus plot"),
@@ -189,6 +306,7 @@ def build_parser() -> argparse.ArgumentParser:
                                 choices=["smoke", "laptop", "paper"])
         experiment.add_argument("--out", default=None)
         experiment.add_argument("--verbose", action="store_true")
+        _add_engine_arguments(experiment, cache=False)
         experiment.set_defaults(
             handler=lambda args, r=runner: _experiment(args, r))
 

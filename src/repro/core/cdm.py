@@ -18,6 +18,12 @@ Mechanics implemented here:
 
 The q-fold formula size increase is why CDM times out where pact does not
 (Table I / Fig. 1).
+
+Like pact, iterations are independent: every random draw of iteration
+``i`` comes from ``SeedSequence(seed, "cdm").child(f"iteration{i}")`` and
+the boundary search starts at index 1, so the iterations can run serially
+or fan out across an :class:`repro.engine.pool.ExecutionPool` with
+bit-identical estimates.
 """
 
 from __future__ import annotations
@@ -35,8 +41,8 @@ from repro.smt.parser import substitute
 from repro.smt.solver import SmtSolver
 from repro.smt.sorts import Sort
 from repro.smt.terms import (
-    Equals, Term, Xor, bool_var, bv_extract, bv_val, bv_var, fp_var,
-    real_var, array_var, uf, FALSE,
+    Equals, Not, TRUE, Term, Xor, bool_var, bv_extract, bv_val, bv_var,
+    fp_var, real_var, array_var, uf,
 )
 from repro.utils.deadline import Deadline
 from repro.utils.rng import SeedSequence
@@ -44,6 +50,11 @@ from repro.utils.stats import median
 
 # Factor-2 pivot: thresh for eps = 1 in the standard formula.
 _PIVOT = 1 + math.ceil(9.84 * (1 + 1 / 2) * (1 + 1 / 1) ** 2)
+
+
+def copy_count(epsilon: float) -> int:
+    """q = ceil(2 / log2(1 + epsilon)) (Stockmeyer's amplification)."""
+    return max(1, math.ceil(2 / math.log2(1 + epsilon)))
 
 
 def _rename(var: Term, suffix: str) -> Term:
@@ -97,37 +108,76 @@ def _xor_hash_term(projection_vars: list[Term], rng) -> Term:
     rhs = rng.random() < 0.5
     if parity is None:
         return _constant_parity(rhs)
-    from repro.smt.terms import Not
     return parity if rhs else Not(parity)
 
 
 def _constant_parity(rhs: bool) -> Term:
-    from repro.smt.terms import Not, TRUE
     return Not(TRUE) if rhs else TRUE
+
+
+def cdm_iteration_estimate(solver: SmtSolver, flat_projection: list[Term],
+                           seed: int, copies: int, max_index: int,
+                           deadline: Deadline, calls: CallCounter,
+                           iteration_index: int) -> int:
+    """One CDM repetition: hash the composed space down to a small cell,
+    scale back up, take the exact integer q-th root.  Pure given its
+    inputs (all randomness from ``cdm/iteration<i>``, search start 1)."""
+    iteration_seeds = SeedSequence(seed, "cdm").child(
+        f"iteration{iteration_index}")
+    hash_cache: dict[int, Term] = {}
+
+    def get_hash(index: int) -> Term:
+        term = hash_cache.get(index)
+        if term is None:
+            term = _xor_hash_term(
+                flat_projection,
+                iteration_seeds.stream(f"hash{index}"))
+            hash_cache[index] = term
+        return term
+
+    def count_at(index: int):
+        solver.push()
+        try:
+            for j in range(1, index + 1):
+                solver.assert_term(get_hash(j))
+            return saturating_count(solver, flat_projection,
+                                    _PIVOT, deadline, calls)
+        finally:
+            solver.pop()
+
+    boundary, cell_count, _ = find_boundary(count_at, 1, max_index)
+    composed_estimate = cell_count * (1 << boundary)
+    return _integer_root(composed_estimate, copies)
 
 
 def cdm_count(assertions, projection: list[Term], epsilon: float = 0.8,
               delta: float = 0.2, seed: int = 1,
               timeout: float | None = None,
-              iteration_override: int | None = None) -> CountResult:
-    """Approximate projected counting with the CDM construction."""
+              iteration_override: int | None = None,
+              pool=None) -> CountResult:
+    """Approximate projected counting with the CDM construction.
+
+    ``pool`` is an optional :class:`repro.engine.pool.ExecutionPool`;
+    when parallel, the median repetitions fan out across its workers.
+    """
     if isinstance(assertions, Term):
         assertions = [assertions]
     assertions = list(assertions)
     start = time.monotonic()
     deadline = Deadline(timeout)
-    copies = max(1, math.ceil(2 / math.log2(1 + epsilon)))
+    copies = copy_count(epsilon)
     iterations = math.ceil(17 * math.log(3 / delta))
     if iteration_override is not None:
         iterations = iteration_override
-    seeds = SeedSequence(seed, "cdm")
     calls = CallCounter()
+    estimates: list[int] = []
 
-    def finish(estimate, status="ok", exact=False, done=0, estimates=()):
+    def finish(estimate, status="ok", exact=False):
         return CountResult(
             estimate=estimate, status=status, exact=exact,
             solver_calls=calls.solver_calls, sat_answers=calls.sat_answers,
-            iterations=done, time_seconds=time.monotonic() - start,
+            iterations=len(estimates),
+            time_seconds=time.monotonic() - start,
             family="cdm", detail=f"q={copies}", estimates=list(estimates))
 
     try:
@@ -146,38 +196,22 @@ def cdm_count(assertions, projection: list[Term], epsilon: float = 0.8,
             return finish(_integer_root(initial, copies), exact=True)
 
         max_index = total_bits(flat_projection)
-        estimates: list[int] = []
-        previous = 1
-        for iteration in range(iterations):
-            iteration_seeds = seeds.child(f"iteration{iteration}")
-            hash_cache: dict[int, Term] = {}
 
-            def get_hash(index: int) -> Term:
-                term = hash_cache.get(index)
-                if term is None:
-                    term = _xor_hash_term(
-                        flat_projection,
-                        iteration_seeds.stream(f"hash{index}"))
-                    hash_cache[index] = term
-                return term
-
-            def count_at(index: int):
-                solver.push()
-                try:
-                    for j in range(1, index + 1):
-                        solver.assert_term(get_hash(j))
-                    return saturating_count(solver, flat_projection,
-                                            _PIVOT, deadline, calls)
-                finally:
-                    solver.pop()
-
-            boundary, cell_count, _ = find_boundary(count_at, previous,
-                                                    max_index)
-            previous = boundary
-            composed_estimate = cell_count * (1 << boundary)
-            estimates.append(_integer_root(composed_estimate, copies))
-        return finish(median(estimates), done=iterations,
-                      estimates=estimates)
+        if pool is not None and pool.parallel and iterations > 1:
+            from repro.engine.fanout import fan_out_iterations
+            status = fan_out_iterations(
+                pool, "cdm", assertions, projection, epsilon=epsilon,
+                delta=delta, family="cdm", seed=seed,
+                num_iterations=iterations, deadline=deadline,
+                calls=calls, estimates=estimates)
+            if status is not None:
+                return finish(None, status=status)
+        else:
+            for iteration in range(iterations):
+                estimates.append(cdm_iteration_estimate(
+                    solver, flat_projection, seed, copies, max_index,
+                    deadline, calls, iteration))
+        return finish(median(estimates))
     except SolverTimeoutError:
         return finish(None, status="timeout")
     except ResourceBudgetError:

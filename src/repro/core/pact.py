@@ -5,6 +5,16 @@ hash constraints, finds the saturation boundary with the galloping search,
 sizes the boundary cell exactly, scales back up by the partition product,
 and takes the median over numIt iterations for the (epsilon, delta)
 guarantee.
+
+Iterations are independent by construction: iteration ``i`` draws every
+random choice from ``SeedSequence(seed, "pact/<family>").child(f"iteration{i}")``
+and starts its boundary search from index 1, so the estimate of one
+iteration never depends on another.  That independence is the determinism
+contract of the engine subsystem (see DESIGN.md): running the iterations
+serially on one shared solver, or fanned out across threads or processes
+on fresh solvers, produces bit-identical per-iteration estimates — cell
+counts are exact and every random draw is a pure function of (seed,
+family, iteration index).
 """
 
 from __future__ import annotations
@@ -27,10 +37,86 @@ from repro.utils.rng import SeedSequence
 from repro.utils.stats import median
 
 
+def build_solver(assertions: list[Term],
+                 projection: list[Term]) -> tuple[SmtSolver, list[int]]:
+    """Assert the formula and blast the projection; returns the solver and
+    the flat projection-bit literals the hash families constrain."""
+    solver = SmtSolver()
+    solver.assert_all(assertions)
+    flat_bits: list[int] = []
+    for var in projection:
+        flat_bits.extend(solver.ensure_bits(var))
+    return solver, flat_bits
+
+
+def max_hash_index(projection: list[Term], family: str,
+                   slice_width: int) -> int:
+    """The search cap on the number of hash constraints."""
+    bits = total_bits(projection)
+    if family == "xor":
+        return bits
+    return math.ceil(bits / slice_width) + 2
+
+
+def iteration_estimate(solver: SmtSolver, projection: list[Term],
+                       flat_bits: list[int], config: PactConfig,
+                       thresh: int, slice_width: int, max_index: int,
+                       deadline: Deadline, calls: CallCounter,
+                       iteration_index: int) -> int:
+    """One iteration of Algorithm 1's main loop (lines 6-14).
+
+    Pure given its inputs: all randomness comes from the seed tree at
+    ``pact/<family>/iteration<i>`` and the boundary search always starts
+    at index 1, so the same (formula, config, index) yields the same
+    estimate on any solver instance, in any process.
+    """
+    iteration_seeds = SeedSequence(
+        config.seed, f"pact/{config.family}").child(
+        f"iteration{iteration_index}")
+    hash_cache: dict[int, object] = {}
+
+    def get_hash(index: int):
+        constraint = hash_cache.get(index)
+        if constraint is None:
+            constraint = generate_hash(
+                projection, slice_width, config.family,
+                iteration_seeds.stream(f"hash{index}"))
+            hash_cache[index] = constraint
+        return constraint
+
+    def count_at(index: int):
+        solver.push()
+        try:
+            for j in range(1, index + 1):
+                get_hash(j).assert_into(solver, flat_bits)
+            return saturating_count(solver, projection, thresh,
+                                    deadline, calls)
+        finally:
+            solver.pop()
+
+    boundary, cell_count, _ = find_boundary(count_at, 1, max_index)
+
+    if config.family == "xor":
+        # One XOR halves the space; FixLastHash is a no-op
+        # (Algorithm 2, line 1).
+        return cell_count * (1 << boundary)
+    cell_count, partition_product = _fix_last_hash(
+        solver, projection, flat_bits, get_hash, boundary,
+        cell_count, slice_width, thresh, deadline, calls,
+        iteration_seeds, config.family)
+    return cell_count * partition_product
+
+
 def pact_count(assertions: list[Term], projection: list[Term],
                config: PactConfig,
-               deadline: Deadline | None = None) -> CountResult:
-    """Run pact on ``assertions`` with projection set ``projection``."""
+               deadline: Deadline | None = None,
+               pool=None) -> CountResult:
+    """Run pact on ``assertions`` with projection set ``projection``.
+
+    ``pool`` is an optional :class:`repro.engine.pool.ExecutionPool`;
+    when it is parallel the numIt iterations fan out across its workers
+    (bit-identical to the serial run, see :func:`iteration_estimate`).
+    """
     start = time.monotonic()
     if deadline is None:
         deadline = Deadline(config.timeout)
@@ -47,23 +133,19 @@ def pact_count(assertions: list[Term], projection: list[Term],
     if config.iteration_override is not None:
         num_iterations = config.iteration_override
 
-    seeds = SeedSequence(config.seed, f"pact/{config.family}")
     calls = CallCounter()
+    estimates: list[int] = []
 
-    def finish(estimate, status="ok", exact=False, iterations=0,
-               estimates=()):
+    def finish(estimate, status="ok", exact=False):
         return CountResult(
             estimate=estimate, status=status, exact=exact,
             solver_calls=calls.solver_calls, sat_answers=calls.sat_answers,
-            iterations=iterations, time_seconds=time.monotonic() - start,
+            iterations=len(estimates),
+            time_seconds=time.monotonic() - start,
             family=config.family, estimates=list(estimates))
 
     try:
-        solver = SmtSolver()
-        solver.assert_all(assertions)
-        flat_bits: list[int] = []
-        for var in projection:
-            flat_bits.extend(solver.ensure_bits(var))
+        solver, flat_bits = build_solver(assertions, projection)
 
         # Line 3-4: if the whole projected space is small, count exactly.
         initial = saturating_count(solver, projection, thresh, deadline,
@@ -71,58 +153,27 @@ def pact_count(assertions: list[Term], projection: list[Term],
         if initial is not SATURATED:
             return finish(initial, exact=True)
 
-        bits = total_bits(projection)
-        if config.family == "xor":
-            max_index = bits
+        max_index = max_hash_index(projection, config.family, slice_width)
+
+        if pool is not None and pool.parallel and num_iterations > 1:
+            from repro.engine.fanout import fan_out_iterations
+            status = fan_out_iterations(
+                pool, "pact", assertions, projection,
+                epsilon=config.epsilon, delta=config.delta,
+                family=config.family, seed=config.seed,
+                num_iterations=num_iterations, deadline=deadline,
+                calls=calls, estimates=estimates)
+            if status is not None:
+                return finish(None, status=status)
         else:
-            max_index = math.ceil(bits / slice_width) + 2
+            for iteration in range(num_iterations):
+                estimates.append(iteration_estimate(
+                    solver, projection, flat_bits, config, thresh,
+                    slice_width, max_index, deadline, calls, iteration))
 
-        estimates: list[int] = []
-        previous_boundary = 1
-        for iteration in range(num_iterations):
-            iteration_seeds = seeds.child(f"iteration{iteration}")
-            hash_cache: dict[int, object] = {}
-
-            def get_hash(index: int):
-                constraint = hash_cache.get(index)
-                if constraint is None:
-                    constraint = generate_hash(
-                        projection, slice_width, config.family,
-                        iteration_seeds.stream(f"hash{index}"))
-                    hash_cache[index] = constraint
-                return constraint
-
-            def count_at(index: int):
-                solver.push()
-                try:
-                    for j in range(1, index + 1):
-                        get_hash(j).assert_into(solver, flat_bits)
-                    return saturating_count(solver, projection, thresh,
-                                            deadline, calls)
-                finally:
-                    solver.pop()
-
-            boundary, cell_count, _ = find_boundary(
-                count_at, previous_boundary, max_index)
-            previous_boundary = boundary
-
-            if config.family == "xor":
-                # One XOR halves the space; FixLastHash is a no-op
-                # (Algorithm 2, line 1).
-                estimate = cell_count * (1 << boundary)
-            else:
-                cell_count, partition_product = _fix_last_hash(
-                    solver, projection, flat_bits, get_hash, boundary,
-                    cell_count, slice_width, thresh, deadline, calls,
-                    iteration_seeds, config.family)
-                estimate = cell_count * partition_product
-            estimates.append(estimate)
-
-        return finish(median(estimates), iterations=num_iterations,
-                      estimates=estimates)
+        return finish(median(estimates))
     except SolverTimeoutError:
-        return finish(None, status="timeout",
-                      iterations=len(locals().get("estimates", [])))
+        return finish(None, status="timeout")
     except ResourceBudgetError:
         return finish(None, status="budget")
 
@@ -168,14 +219,17 @@ def _fix_last_hash(solver, projection, flat_bits, get_hash, boundary,
 def count_projected(assertions, projection, epsilon: float = 0.8,
                     delta: float = 0.2, family: str = "xor",
                     seed: int = 1, timeout: float | None = None,
-                    iteration_override: int | None = None) -> CountResult:
+                    iteration_override: int | None = None,
+                    pool=None) -> CountResult:
     """The convenience front door: count with (epsilon, delta) guarantees.
 
-    See :class:`repro.core.config.PactConfig` for parameter semantics.
+    See :class:`repro.core.config.PactConfig` for parameter semantics;
+    ``pool`` optionally fans the iterations out (see :func:`pact_count`).
     """
     if isinstance(assertions, Term):
         assertions = [assertions]
     config = PactConfig(epsilon=epsilon, delta=delta, family=family,
                         seed=seed, timeout=timeout,
                         iteration_override=iteration_override)
-    return pact_count(list(assertions), list(projection), config)
+    return pact_count(list(assertions), list(projection), config,
+                      pool=pool)

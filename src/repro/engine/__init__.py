@@ -1,0 +1,33 @@
+"""repro.engine: the parallel execution subsystem.
+
+Everything concurrent lives here, behind three seams:
+
+* :mod:`repro.engine.pool` — :class:`ExecutionPool`, one API over
+  serial / thread / process backends with per-task deadlines, graceful
+  cancellation and per-worker accounting;
+* :mod:`repro.engine.fanout` — counting-iteration fan-out: a single
+  pact/CDM iteration as a pure, picklable unit of work whose parallel
+  median is bit-identical to the serial run;
+* :mod:`repro.engine.scheduler` — the evaluation-matrix scheduler:
+  (configuration, instance) slots dispatched across a pool with
+  per-slot budgets, live progress and the fingerprint result cache;
+* :mod:`repro.engine.cache` — the JSON-on-disk result cache keyed by
+  canonical formula fingerprints.
+
+See DESIGN.md ("The engine subsystem") for the determinism contract and
+the cache format.
+"""
+
+from repro.engine.cache import (
+    ResultCache, formula_fingerprint, script_fingerprint,
+)
+from repro.engine.fanout import IterationSpec, make_spec, run_iteration
+from repro.engine.pool import BACKENDS, ExecutionPool, Task, TaskResult
+from repro.engine.scheduler import MatrixRun, SlotSpec, schedule_matrix
+
+__all__ = [
+    "BACKENDS", "ExecutionPool", "IterationSpec", "MatrixRun",
+    "ResultCache", "SlotSpec", "Task", "TaskResult",
+    "formula_fingerprint", "make_spec", "run_iteration",
+    "schedule_matrix", "script_fingerprint",
+]

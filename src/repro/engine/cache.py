@@ -1,0 +1,142 @@
+"""The persistent result cache: JSON on disk, keyed by formula fingerprint.
+
+A *fingerprint* canonically identifies a counting problem: the SHA-256 of
+the printed assertions, the projection variables (name and sort, in
+order), and the counting parameters (hash family, epsilon, delta, seed,
+timeout, iteration override, configuration name — anything that changes
+the answer or the budget).  Two structurally identical formulas built in
+different processes print identically, so fingerprints are stable across
+runs and machines.
+
+On disk the cache is a single JSON document::
+
+    {
+      "version": 1,
+      "entries": {
+        "<fingerprint>": {"estimate": 137, "status": "ok", ...},
+        ...
+      }
+    }
+
+Writes are atomic (temp file + ``os.replace``) and the orchestrating
+process is the only writer — workers return results, the scheduler
+stores them — so no cross-process locking is needed.  A corrupt or
+foreign file is treated as empty rather than fatal: the cache is an
+accelerator, never a correctness dependency.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+from typing import Mapping
+
+from repro.smt.printer import print_term
+
+CACHE_VERSION = 1
+DEFAULT_FILENAME = "pact-cache.json"
+
+
+def formula_fingerprint(assertions, projection,
+                        params: Mapping | None = None) -> str:
+    """Canonical fingerprint of (formula, projection, parameters)."""
+    pieces = [f"pact-cache-v{CACHE_VERSION}"]
+    pieces.extend(print_term(assertion) for assertion in assertions)
+    pieces.append("|projection|")
+    pieces.extend(f"{var.name}:{var.sort!r}" for var in projection)
+    if params:
+        pieces.append(json.dumps(dict(params), sort_keys=True, default=str))
+    return hashlib.sha256("\n".join(pieces).encode()).hexdigest()
+
+
+def script_fingerprint(script: str, params: Mapping | None = None) -> str:
+    """Fingerprint from an already-serialised SMT-LIB script."""
+    pieces = [f"pact-cache-v{CACHE_VERSION}", script]
+    if params:
+        pieces.append(json.dumps(dict(params), sort_keys=True, default=str))
+    return hashlib.sha256("\n".join(pieces).encode()).hexdigest()
+
+
+class ResultCache:
+    """Fingerprint -> result payload store with hit/miss accounting."""
+
+    def __init__(self, directory: str | os.PathLike,
+                 filename: str = DEFAULT_FILENAME):
+        self.directory = Path(directory)
+        self.path = self.directory / filename
+        self.hits = 0
+        self.misses = 0
+        self._entries: dict[str, dict] | None = None
+        self._dirty = False
+
+    # ------------------------------------------------------------------
+    def _load(self) -> dict[str, dict]:
+        if self._entries is None:
+            self._entries = {}
+            try:
+                document = json.loads(self.path.read_text())
+                if (isinstance(document, dict)
+                        and document.get("version") == CACHE_VERSION
+                        and isinstance(document.get("entries"), dict)):
+                    self._entries = document["entries"]
+            except (OSError, ValueError):
+                pass  # missing or corrupt cache: start empty
+        return self._entries
+
+    def get(self, fingerprint: str) -> dict | None:
+        """Look up a payload, counting the hit or miss."""
+        entry = self._load().get(fingerprint)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return dict(entry)
+
+    def put(self, fingerprint: str, payload: Mapping) -> None:
+        record = dict(payload)
+        record.setdefault("saved_at", time.time())
+        self._load()[fingerprint] = record
+        self._dirty = True
+
+    def flush(self) -> None:
+        """Atomically persist the cache if anything changed."""
+        if not self._dirty:
+            return
+        self.directory.mkdir(parents=True, exist_ok=True)
+        document = {"version": CACHE_VERSION, "entries": self._load()}
+        handle, temp_path = tempfile.mkstemp(
+            dir=self.directory, prefix=".cache-", suffix=".tmp")
+        try:
+            with os.fdopen(handle, "w") as stream:
+                json.dump(document, stream, indent=1, sort_keys=True)
+            os.replace(temp_path, self.path)
+        except BaseException:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            raise
+        self._dirty = False
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._load())
+
+    def __enter__(self) -> "ResultCache":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.flush()
+
+    @property
+    def stats(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "entries": len(self)}
+
+    def __repr__(self) -> str:
+        return (f"ResultCache({self.path}, entries={len(self)}, "
+                f"hits={self.hits}, misses={self.misses})")

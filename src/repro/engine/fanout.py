@@ -1,0 +1,199 @@
+"""Iteration fan-out: one counting iteration as a pure, picklable task.
+
+Both counters take a median over numIt independent iterations
+(Algorithm 1 line 15) — embarrassingly parallel once a single iteration
+is a self-contained unit of work.  An :class:`IterationSpec` carries the
+problem in its *serialised* SMT-LIB form (terms are hash-consed and
+interned per process, so shipping the script text and re-parsing inside
+the worker is the safe way to cross a process boundary); every random
+draw of iteration ``i`` derives from ``SeedSequence(seed, ...,
+f"iteration{i}")``, so the worker reconstructs exactly the serial run's
+randomness and the parallel median is bit-identical to the serial one.
+
+Workers memoise parsing per process keyed by script digest; the
+orchestrator pre-seeds the memo with its own term objects, so the serial
+and thread backends (and forked process children) never re-parse at all.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import time
+from dataclasses import dataclass
+
+from repro.engine.pool import Task
+
+__all__ = ["IterationSpec", "fan_out_iterations", "iteration_tasks",
+           "make_spec", "run_iteration"]
+
+
+@dataclass(frozen=True)
+class IterationSpec:
+    """A picklable description of one counting problem.
+
+    ``algorithm`` is "pact" or "cdm"; ``script`` is the full SMT-LIB
+    serialisation (declarations, ``:projected-vars``, assertions);
+    the remaining fields are the counting parameters an iteration needs.
+    """
+
+    algorithm: str
+    script: str
+    epsilon: float
+    delta: float
+    family: str
+    seed: int
+
+
+# Per-process parse memo: script digest -> (assertions, projection).
+_parse_memo: dict[str, tuple[list, list]] = {}
+
+
+def _digest(script: str) -> str:
+    return hashlib.sha256(script.encode()).hexdigest()
+
+
+def _parsed(script: str) -> tuple[list, list]:
+    key = _digest(script)
+    cached = _parse_memo.get(key)
+    if cached is None:
+        from repro.smt.parser import parse_script
+        parsed = parse_script(script)
+        cached = (list(parsed.assertions), list(parsed.projection))
+        _parse_memo[key] = cached
+    return cached
+
+
+def make_spec(algorithm: str, assertions, projection, *, epsilon: float,
+              delta: float, family: str, seed: int) -> IterationSpec:
+    """Build a spec from in-memory terms, pre-seeding the parse memo so
+    in-process workers reuse the original term objects."""
+    from repro.smt.printer import write_script
+    script = write_script(list(assertions), projection=list(projection))
+    _parse_memo.setdefault(_digest(script),
+                           (list(assertions), list(projection)))
+    return IterationSpec(algorithm=algorithm, script=script,
+                         epsilon=epsilon, delta=delta, family=family,
+                         seed=seed)
+
+
+def iteration_tasks(algorithm: str, assertions, projection, *,
+                    epsilon: float, delta: float, family: str, seed: int,
+                    num_iterations: int,
+                    deadline_at: float | None = None) -> list[Task]:
+    """One :class:`Task` per iteration, keyed by iteration index.
+
+    ``deadline_at`` is the run's absolute monotonic deadline: the whole
+    batch shares it, so iterations dispatched late get only what is left
+    of the counter's total timeout, exactly like the serial loop.
+    """
+    spec = make_spec(algorithm, assertions, projection, epsilon=epsilon,
+                     delta=delta, family=family, seed=seed)
+    return [Task(key=index, fn=_iteration_task, args=(spec, index),
+                 deadline_at=deadline_at)
+            for index in range(num_iterations)]
+
+
+def fan_out_iterations(pool, algorithm: str, assertions, projection, *,
+                       epsilon: float, delta: float, family: str,
+                       seed: int, num_iterations: int, deadline, calls,
+                       estimates: list) -> str | None:
+    """Run a counter's iterations across ``pool``, filling ``estimates``
+    in iteration order and aggregating oracle calls into ``calls``.
+
+    Returns None when every iteration completed, the failure status
+    ("timeout"/"budget") when some did not, and re-raises any other
+    worker exception — mirroring the serial loop's semantics.
+    """
+    remaining = deadline.remaining()
+    deadline_at = (None if math.isinf(remaining)
+                   else time.monotonic() + remaining)
+    tasks = iteration_tasks(
+        algorithm, assertions, projection, epsilon=epsilon, delta=delta,
+        family=family, seed=seed, num_iterations=num_iterations,
+        deadline_at=deadline_at)
+    status = None
+    for result in pool.run(tasks):
+        if result.ok:
+            estimates.append(result.value["estimate"])
+            calls.solver_calls += result.value["solver_calls"]
+            calls.sat_answers += result.value["sat_answers"]
+        elif result.status in ("timeout", "budget", "cancelled"):
+            status = status or ("timeout" if result.status == "cancelled"
+                                else result.status)
+        else:
+            raise result.error
+    return status
+
+
+def run_iteration(spec: IterationSpec, iteration_index: int,
+                  budget: float | None = None) -> int:
+    """The pure unit of work: one iteration's estimate.
+
+    Deterministic in (spec, iteration_index); raises
+    :class:`repro.errors.SolverTimeoutError` if ``budget`` seconds elapse
+    first.
+    """
+    return _iteration_task(spec, iteration_index,
+                           budget=budget)["estimate"]
+
+
+def _iteration_task(spec: IterationSpec, iteration_index: int,
+                    budget: float | None = None) -> dict:
+    """Worker body: estimate plus oracle-call accounting (picklable)."""
+    from repro.core.cells import CallCounter
+    from repro.utils.deadline import Deadline
+
+    assertions, projection = _parsed(spec.script)
+    deadline = Deadline(budget)
+    calls = CallCounter()
+    if spec.algorithm == "pact":
+        estimate = _pact_iteration(assertions, projection, spec,
+                                   deadline, calls, iteration_index)
+    elif spec.algorithm == "cdm":
+        estimate = _cdm_iteration(assertions, projection, spec,
+                                  deadline, calls, iteration_index)
+    else:
+        raise ValueError(f"unknown algorithm {spec.algorithm!r}")
+    return {"estimate": estimate, "solver_calls": calls.solver_calls,
+            "sat_answers": calls.sat_answers}
+
+
+def _pact_iteration(assertions, projection, spec, deadline, calls,
+                    iteration_index: int) -> int:
+    from repro.core.config import PactConfig
+    from repro.core.constants import get_constants
+    from repro.core.pact import (
+        build_solver, iteration_estimate, max_hash_index,
+    )
+
+    config = PactConfig(epsilon=spec.epsilon, delta=spec.delta,
+                        family=spec.family, seed=spec.seed)
+    thresh, _, slice_width = get_constants(
+        config.epsilon, config.delta, config.family)
+    solver, flat_bits = build_solver(assertions, projection)
+    max_index = max_hash_index(projection, config.family, slice_width)
+    return iteration_estimate(solver, projection, flat_bits, config,
+                              thresh, slice_width, max_index, deadline,
+                              calls, iteration_index)
+
+
+def _cdm_iteration(assertions, projection, spec, deadline, calls,
+                   iteration_index: int) -> int:
+    from repro.core.cdm import (
+        cdm_iteration_estimate, compose_copies, copy_count,
+    )
+    from repro.core.slicing import total_bits
+    from repro.smt.solver import SmtSolver
+
+    copies = copy_count(spec.epsilon)
+    composed, projections = compose_copies(assertions, projection, copies)
+    flat_projection = [var for group in projections for var in group]
+    solver = SmtSolver()
+    solver.assert_all(composed)
+    for var in flat_projection:
+        solver.ensure_bits(var)
+    max_index = total_bits(flat_projection)
+    return cdm_iteration_estimate(solver, flat_projection, spec.seed,
+                                  copies, max_index, deadline, calls,
+                                  iteration_index)

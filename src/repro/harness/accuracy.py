@@ -30,13 +30,13 @@ PAPER_ERRORS = {
 FAMILIES = ("pact_xor", "pact_prime", "pact_shift")
 
 
-def run_accuracy(preset: Preset, per_logic: int = 2, progress=None
-                 ) -> tuple[list[RunRecord], str]:
+def run_accuracy(preset: Preset, per_logic: int = 2, progress=None,
+                 pool=None, cache=None) -> tuple[list[RunRecord], str]:
     """Run the Fig. 2 experiment on the known-count pool."""
     instances = accuracy_pool(per_logic=per_logic,
                               base_seed=preset.base_seed + 7)
     records = run_matrix(instances, preset, configurations=FAMILIES,
-                         progress=progress)
+                         progress=progress, pool=pool, cache=cache)
     return records, accuracy_table(records, preset.epsilon)
 
 

@@ -6,6 +6,10 @@ import csv
 import io
 from typing import Sequence
 
+RECORD_FIELDS = ("configuration", "instance", "logic", "solved",
+                 "estimate", "known_count", "time_seconds",
+                 "solver_calls", "status", "cached", "worker")
+
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence],
                  title: str | None = None) -> str:
@@ -31,6 +35,60 @@ def to_csv(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
     writer.writerow(headers)
     writer.writerows(rows)
     return buffer.getvalue()
+
+
+def matrix_summary(run, preset=None) -> str:
+    """The ``run`` command's summary: per-configuration outcomes, cache
+    effectiveness and per-worker timing for a scheduled matrix.
+
+    ``run`` is a :class:`repro.engine.scheduler.MatrixRun`.
+    """
+    by_configuration: dict[str, dict] = {}
+    for record in run.records:
+        slot = by_configuration.setdefault(
+            record.configuration,
+            {"slots": 0, "solved": 0, "cached": 0, "time": 0.0})
+        slot["slots"] += 1
+        slot["solved"] += 1 if record.solved else 0
+        slot["cached"] += 1 if record.cached else 0
+        slot["time"] += record.time_seconds
+
+    title = "Run summary"
+    if preset is not None:
+        instances = len({record.instance for record in run.records})
+        title += (f" (preset={preset.name}, {instances} instances, "
+                  f"{len(run.records)} slots, "
+                  f"wall {run.elapsed:.2f}s)")
+    rows = [[name, stats["slots"], stats["solved"], stats["cached"],
+             f"{stats['time']:.2f}"]
+            for name, stats in sorted(by_configuration.items())]
+    rows.append(["Total", len(run.records), run.solved,
+                 run.cache_hits,
+                 f"{sum(r.time_seconds for r in run.records):.2f}"])
+    lines = [format_table(
+        ["configuration", "slots", "solved", "cached", "cpu_s"],
+        rows, title=title)]
+
+    looked_up = run.cache_hits + run.cache_misses
+    if looked_up:
+        rate = 100.0 * run.cache_hits / looked_up
+        lines.append(f"cache: {run.cache_hits} hits, "
+                     f"{run.cache_misses} misses ({rate:.1f}% hit rate)")
+
+    if run.worker_times:
+        worker_rows = [[tag, int(count), f"{busy:.2f}"]
+                       for tag, (count, busy)
+                       in sorted(run.worker_times.items())]
+        lines.append(format_table(["worker", "slots", "busy_s"],
+                                  worker_rows, title="Workers"))
+    return "\n\n".join(lines)
+
+
+def records_csv(records) -> str:
+    """All record fields as CSV (the ``run`` command's artifact)."""
+    rows = [[getattr(record, name) for name in RECORD_FIELDS]
+            for record in records]
+    return to_csv(RECORD_FIELDS, rows)
 
 
 def ascii_plot(series: dict[str, list[tuple[float, float]]],

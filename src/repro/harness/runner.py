@@ -3,6 +3,11 @@
 The four configurations of the evaluation are pact with each hash family
 plus the CDM baseline; each (configuration, instance) pair gets an
 independent wall-clock budget, like the paper's one-core/8GB/3600s slots.
+
+:func:`run_matrix` delegates to :mod:`repro.engine.scheduler`, which
+dispatches the slots across an :class:`repro.engine.pool.ExecutionPool`
+(serially by default) and can serve repeated slots from the fingerprint
+result cache.
 """
 
 from __future__ import annotations
@@ -21,7 +26,12 @@ CONFIGURATIONS = ("pact_xor", "pact_prime", "pact_shift", "cdm")
 
 @dataclass
 class RunRecord:
-    """One (configuration, instance) outcome."""
+    """One (configuration, instance) outcome.
+
+    ``cached`` marks records served from the fingerprint cache (their
+    ``time_seconds`` is the original solve time, not the lookup time);
+    ``worker`` names the pool slot that produced the record.
+    """
 
     configuration: str
     instance: str
@@ -32,11 +42,15 @@ class RunRecord:
     time_seconds: float
     solver_calls: int
     status: str
+    cached: bool = False
+    worker: str = ""
 
     @property
     def relative_error(self) -> float | None:
         from repro.utils.stats import relative_error
-        if not self.solved or not self.known_count:
+        # A known count of 0 is a legitimate ground truth; only a missing
+        # one (None) makes the error unmeasurable.
+        if not self.solved or self.known_count is None:
             return None
         return relative_error(self.known_count, self.estimate)
 
@@ -79,13 +93,15 @@ def _dispatch(configuration: str, instance: Instance,
 
 def run_matrix(instances: list[Instance], preset: Preset,
                configurations=CONFIGURATIONS,
-               progress=None) -> list[RunRecord]:
-    """The full evaluation matrix: every configuration on every instance."""
-    records: list[RunRecord] = []
-    for instance in instances:
-        for configuration in configurations:
-            record = run_configuration(configuration, instance, preset)
-            records.append(record)
-            if progress is not None:
-                progress(record)
-    return records
+               progress=None, pool=None, cache=None) -> list[RunRecord]:
+    """The full evaluation matrix: every configuration on every instance.
+
+    ``pool``/``cache`` are optional engine objects (execution pool,
+    fingerprint result cache); the default remains a serial in-process
+    run.  Records come back instance-major, in configuration order,
+    exactly as the serial loop always produced them.
+    """
+    from repro.engine.scheduler import schedule_matrix
+    return schedule_matrix(instances, preset,
+                           configurations=configurations, pool=pool,
+                           cache=cache, progress=progress).records

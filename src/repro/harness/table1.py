@@ -73,14 +73,25 @@ def table1_rows(records: list[RunRecord]) -> list[list]:
     return rows
 
 
-def run_table1(preset: Preset, progress=None
+def table1_suite(preset: Preset):
+    """The evaluation suite for ``preset``: generate the per-logic pool
+    and apply the paper's selection methodology (section IV)."""
+    candidates = build_suite(per_logic=preset.instances_per_logic,
+                             base_seed=preset.base_seed)
+    return select_benchmarks(candidates, min_count=preset.min_count,
+                             sat_budget=preset.sat_budget)
+
+
+def run_table1(preset: Preset, progress=None, pool=None, cache=None
                ) -> tuple[list[RunRecord], str]:
-    """Run the Table I experiment; returns (records, formatted table)."""
-    pool = build_suite(per_logic=preset.instances_per_logic,
-                       base_seed=preset.base_seed)
-    instances = select_benchmarks(pool, min_count=preset.min_count,
-                                  sat_budget=preset.sat_budget)
-    records = run_matrix(instances, preset, progress=progress)
+    """Run the Table I experiment; returns (records, formatted table).
+
+    ``pool``/``cache`` optionally parallelise the matrix and reuse
+    cached slots (see :func:`repro.harness.runner.run_matrix`).
+    """
+    instances = table1_suite(preset)
+    records = run_matrix(instances, preset, progress=progress,
+                         pool=pool, cache=cache)
     table = format_table(
         ["Logic", "CDM", "pact_prime", "pact_shift", "pact_xor"],
         table1_rows(records),

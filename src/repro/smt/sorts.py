@@ -7,6 +7,8 @@ solver.
 
 from __future__ import annotations
 
+import threading
+
 from repro.errors import SortError
 
 
@@ -113,6 +115,10 @@ _bv_cache: dict[int, BitVecSortClass] = {}
 _fp_cache: dict[tuple[int, int], FloatSortClass] = {}
 _array_cache: dict[tuple[int, int], ArraySortClass] = {}
 _fun_cache: dict[tuple, FunctionSortClass] = {}
+# Sorts are compared by identity (terms key on id(sort)), so the
+# get-or-create below must not race when the engine's thread backend
+# builds terms concurrently.
+_sort_lock = threading.Lock()
 
 
 def BoolSort() -> Sort:
@@ -129,8 +135,11 @@ def BitVecSort(width: int) -> BitVecSortClass:
     """The bit-vector sort of the given width (interned)."""
     sort = _bv_cache.get(width)
     if sort is None:
-        sort = BitVecSortClass(width)
-        _bv_cache[width] = sort
+        with _sort_lock:
+            sort = _bv_cache.get(width)
+            if sort is None:
+                sort = BitVecSortClass(width)
+                _bv_cache[width] = sort
     return sort
 
 
@@ -139,8 +148,11 @@ def FloatSort(eb: int, sb: int) -> FloatSortClass:
     key = (eb, sb)
     sort = _fp_cache.get(key)
     if sort is None:
-        sort = FloatSortClass(eb, sb)
-        _fp_cache[key] = sort
+        with _sort_lock:
+            sort = _fp_cache.get(key)
+            if sort is None:
+                sort = FloatSortClass(eb, sb)
+                _fp_cache[key] = sort
     return sort
 
 
@@ -149,8 +161,11 @@ def ArraySort(index: Sort, element: Sort) -> ArraySortClass:
     key = (id(index), id(element))
     sort = _array_cache.get(key)
     if sort is None:
-        sort = ArraySortClass(index, element)
-        _array_cache[key] = sort
+        with _sort_lock:
+            sort = _array_cache.get(key)
+            if sort is None:
+                sort = ArraySortClass(index, element)
+                _array_cache[key] = sort
     return sort
 
 
@@ -161,8 +176,11 @@ def FunctionSort(domain: tuple[Sort, ...] | list[Sort],
     key = (tuple(id(s) for s in domain), id(codomain))
     sort = _fun_cache.get(key)
     if sort is None:
-        sort = FunctionSortClass(domain, codomain)
-        _fun_cache[key] = sort
+        with _sort_lock:
+            sort = _fun_cache.get(key)
+            if sort is None:
+                sort = FunctionSortClass(domain, codomain)
+                _fun_cache[key] = sort
     return sort
 
 

@@ -13,6 +13,7 @@ overloaded for the unambiguous cases (``x + y``, ``x & y``, ``~x``, ...).
 
 from __future__ import annotations
 
+import threading
 from fractions import Fraction
 from typing import Iterable, Sequence
 
@@ -24,6 +25,7 @@ from repro.smt.sorts import (
 )
 
 _interned: dict[tuple, "Term"] = {}
+_intern_lock = threading.Lock()
 _next_id = [0]
 
 
@@ -199,8 +201,15 @@ def _mk(op: str, args: tuple[Term, ...], sort: Sort, payload=None,
     key = (op, payload, params, tuple(a.term_id for a in args), id(sort))
     term = _interned.get(key)
     if term is None:
-        term = Term(op, args, sort, payload, params)
-        _interned[key] = term
+        # The lock keeps interning correct when the engine's thread
+        # backend constructs terms concurrently: without it two threads
+        # can race the check above, allocate duplicate term_ids and
+        # break the identity guarantee (`t1 is t2` iff equal).
+        with _intern_lock:
+            term = _interned.get(key)
+            if term is None:
+                term = Term(op, args, sort, payload, params)
+                _interned[key] = term
     return term
 
 

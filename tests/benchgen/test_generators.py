@@ -33,6 +33,28 @@ class TestGeneratorBasics:
                   for s in range(8)}
         assert len(counts) > 1
 
+    def test_deterministic_across_processes(self):
+        """Instances must be identical run-to-run regardless of Python's
+        per-process string-hash randomisation — the engine's fingerprint
+        cache keys on the printed formula."""
+        import os
+        import subprocess
+        import sys
+
+        program = (
+            "import hashlib\n"
+            "from repro.benchgen.generators import qf_bvfp\n"
+            "script = qf_bvfp(seed=10000, width=9).to_smtlib()\n"
+            "print(hashlib.sha256(script.encode()).hexdigest())\n")
+        digests = set()
+        for hash_seed in ("1", "2"):
+            env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+            output = subprocess.run(
+                [sys.executable, "-c", program], env=env, check=True,
+                capture_output=True, text=True).stdout.strip()
+            digests.add(output)
+        assert len(digests) == 1
+
     @pytest.mark.parametrize("logic", LOGICS)
     def test_known_count_matches_enum(self, logic):
         """The central generator invariant, checked through the solver."""

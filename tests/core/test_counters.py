@@ -162,6 +162,25 @@ class TestPactApi:
         assert result.status == "timeout"
         assert result.estimate is None
 
+    def test_timeout_reports_partial_iterations(self):
+        """On timeout the result records the iterations that DID finish
+        (count and per-iteration estimates stay consistent)."""
+        x = bv_var("api_px", 10)
+        formula = [bv_ult(x, bv_val(900, 10))]
+        full = count_projected(formula, [x], family="xor", seed=3,
+                               iteration_override=4)
+        assert full.status == "ok"
+        # A budget that fits roughly half the full run cuts the loop
+        # mid-way: some iterations complete, the rest are abandoned.
+        result = count_projected(formula, [x], family="xor", seed=3,
+                                 iteration_override=4,
+                                 timeout=full.time_seconds / 2)
+        assert result.iterations == len(result.estimates)
+        if result.status == "timeout":
+            assert result.estimate is None
+            assert result.iterations < 4
+            assert result.estimates == full.estimates[:result.iterations]
+
     def test_solver_call_accounting(self):
         x = bv_var("api_cx", 8)
         result = count_projected([bv_ult(x, bv_val(150, 8))], [x],

@@ -1,0 +1,78 @@
+"""Fingerprints and the JSON-on-disk result cache."""
+
+from repro.engine.cache import (
+    ResultCache, formula_fingerprint, script_fingerprint,
+)
+from repro.smt.terms import bv_ult, bv_val, bv_var
+
+
+def _formula(width=8, bound=100, name="cf_x"):
+    x = bv_var(name, width)
+    return [bv_ult(x, bv_val(bound, width))], [x]
+
+
+class TestFingerprint:
+    def test_deterministic(self):
+        assertions, projection = _formula()
+        params = {"family": "xor", "epsilon": 0.8}
+        assert (formula_fingerprint(assertions, projection, params)
+                == formula_fingerprint(assertions, projection, params))
+
+    def test_sensitive_to_formula(self):
+        a1, p1 = _formula(bound=100)
+        a2, p2 = _formula(bound=101)
+        assert (formula_fingerprint(a1, p1)
+                != formula_fingerprint(a2, p2))
+
+    def test_sensitive_to_projection_sort(self):
+        assertions, _ = _formula()
+        assert (formula_fingerprint(assertions, [bv_var("cf_p", 8)])
+                != formula_fingerprint(assertions, [bv_var("cf_p", 9)]))
+
+    def test_sensitive_to_params(self):
+        assertions, projection = _formula()
+        assert (formula_fingerprint(assertions, projection,
+                                    {"family": "xor"})
+                != formula_fingerprint(assertions, projection,
+                                       {"family": "prime"}))
+
+    def test_script_fingerprint_params(self):
+        assert (script_fingerprint("(assert true)", {"seed": 1})
+                != script_fingerprint("(assert true)", {"seed": 2}))
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("fp1") is None
+        cache.put("fp1", {"estimate": 42, "status": "ok"})
+        entry = cache.get("fp1")
+        assert entry["estimate"] == 42
+        assert cache.stats == {"hits": 1, "misses": 1, "entries": 1}
+
+    def test_round_trips_through_disk(self, tmp_path):
+        first = ResultCache(tmp_path)
+        first.put("fp1", {"estimate": 7, "status": "ok"})
+        first.flush()
+        second = ResultCache(tmp_path)
+        assert second.get("fp1")["estimate"] == 7
+        assert second.path.exists()
+
+    def test_flush_without_changes_writes_nothing(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.flush()
+        assert not cache.path.exists()
+
+    def test_corrupt_file_treated_as_empty(self, tmp_path):
+        path = tmp_path / "pact-cache.json"
+        path.write_text("{not json!!")
+        cache = ResultCache(tmp_path)
+        assert cache.get("fp1") is None
+        cache.put("fp1", {"estimate": 1, "status": "ok"})
+        cache.flush()
+        assert ResultCache(tmp_path).get("fp1")["estimate"] == 1
+
+    def test_context_manager_flushes(self, tmp_path):
+        with ResultCache(tmp_path) as cache:
+            cache.put("fp2", {"estimate": 9, "status": "ok"})
+        assert ResultCache(tmp_path).get("fp2")["estimate"] == 9

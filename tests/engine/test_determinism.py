@@ -1,0 +1,75 @@
+"""The engine's determinism contract: parallel runs are bit-identical to
+serial runs for the same seed (satellite of the paper's (eps, delta)
+guarantee — the median is only meaningful if the iterations it is taken
+over do not depend on scheduling).
+
+Thread workers share the orchestrator's interned terms; process workers
+re-parse the serialised script in a fresh interpreter state — both must
+reproduce the serial per-iteration estimates exactly, for all three pact
+hash families and for CDM.
+"""
+
+import pytest
+
+from repro import cdm_count, count_projected
+from repro.engine import ExecutionPool, make_spec, run_iteration
+from repro.smt import bv_ult, bv_val, bv_var
+
+ITERATIONS = 4
+SEED = 11
+
+
+def _formula(name):
+    x = bv_var(name, 8)
+    return [bv_ult(x, bv_val(200, 8))], [x]
+
+
+@pytest.mark.parametrize("backend", ["thread", "process"])
+@pytest.mark.parametrize("family", ["xor", "prime", "shift"])
+def test_pact_parallel_matches_serial(family, backend):
+    assertions, projection = _formula(f"det_{family}_{backend}")
+    serial = count_projected(assertions, projection, family=family,
+                             seed=SEED, iteration_override=ITERATIONS)
+    parallel = count_projected(assertions, projection, family=family,
+                               seed=SEED, iteration_override=ITERATIONS,
+                               pool=ExecutionPool(2, backend))
+    assert serial.estimates == parallel.estimates
+    assert serial.estimate == parallel.estimate
+    assert parallel.iterations == ITERATIONS
+
+
+def test_cdm_parallel_matches_serial():
+    # CDM self-composes the formula q times, so keep the space small.
+    x = bv_var("det_cdm", 7)
+    assertions, projection = [bv_ult(x, bv_val(90, 7))], [x]
+    serial = cdm_count(assertions, projection, seed=SEED,
+                       iteration_override=2)
+    parallel = cdm_count(assertions, projection, seed=SEED,
+                         iteration_override=2,
+                         pool=ExecutionPool(2, "thread"))
+    assert serial.estimates == parallel.estimates
+    assert serial.estimate == parallel.estimate
+
+
+@pytest.mark.parametrize("family", ["xor", "prime", "shift"])
+def test_run_iteration_is_pure(family):
+    """The unit of work returns the same estimate on repeated calls and
+    matches the corresponding serial iteration."""
+    assertions, projection = _formula(f"det_pure_{family}")
+    spec = make_spec("pact", assertions, projection, epsilon=0.8,
+                     delta=0.2, family=family, seed=SEED)
+    serial = count_projected(assertions, projection, family=family,
+                             seed=SEED, iteration_override=ITERATIONS)
+    for index in (0, ITERATIONS - 1):
+        first = run_iteration(spec, index)
+        assert first == run_iteration(spec, index)
+        assert first == serial.estimates[index]
+
+
+def test_exact_short_circuit_ignores_pool():
+    """Small spaces are counted exactly before any fan-out happens."""
+    x = bv_var("det_small", 6)
+    result = count_projected([bv_ult(x, bv_val(9, 6))], [x],
+                             pool=ExecutionPool(2, "thread"))
+    assert result.exact
+    assert result.estimate == 9

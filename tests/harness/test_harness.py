@@ -69,6 +69,20 @@ class TestRunner:
         assert {r.configuration for r in records} == {"pact_xor",
                                                       "pact_shift"}
 
+    def test_relative_error_with_zero_known_count(self):
+        """A known count of 0 is legitimate ground truth, not missing."""
+        exact_zero = _record("pact_xor", "QF_ABV", True, estimate=0,
+                             known=0)
+        assert exact_zero.relative_error == 0.0
+        overestimate = _record("pact_xor", "QF_ABV", True, estimate=5,
+                               known=0)
+        assert overestimate.relative_error == float("inf")
+
+    def test_relative_error_none_when_unknown_or_unsolved(self):
+        assert _record("pact_xor", "QF_ABV", True,
+                       known=None).relative_error is None
+        assert _record("pact_xor", "QF_ABV", False).relative_error is None
+
 
 def _record(configuration, logic, solved, time_seconds=1.0,
             estimate=100, known=100):

@@ -49,6 +49,30 @@ class TestCount:
         assert "s limit" in capsys.readouterr().out
 
 
+class TestEngineFlags:
+    def test_count_with_jobs(self, smt_file, capsys):
+        assert main(["count", str(smt_file), "--jobs", "2",
+                     "--backend", "thread"]) == 0
+        assert "s exact 20" in capsys.readouterr().out
+
+    def test_count_cache_round_trip(self, smt_file, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        assert main(["count", str(smt_file), "--cache-dir",
+                     str(cache_dir)]) == 0
+        capsys.readouterr()
+        assert main(["count", str(smt_file), "--cache-dir",
+                     str(cache_dir)]) == 0
+        assert "cache hit" in capsys.readouterr().out
+
+    def test_count_no_cache_ignores_dir(self, smt_file, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        main(["count", str(smt_file), "--cache-dir", str(cache_dir)])
+        capsys.readouterr()
+        assert main(["count", str(smt_file), "--cache-dir",
+                     str(cache_dir), "--no-cache"]) == 0
+        assert "cache hit" not in capsys.readouterr().out
+
+
 class TestGenerate:
     def test_generate_writes_files(self, tmp_path, capsys):
         out = tmp_path / "bench"
