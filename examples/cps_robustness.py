@@ -17,7 +17,7 @@ Model (a cruise-control sketch):
 Run:  python examples/cps_robustness.py
 """
 
-from repro import count_projected, exact_count
+from repro import CountRequest, Problem, Session
 from repro.smt import (
     Equals, Implies, Not, Or, bv_and, bv_extract, bv_ult, bv_val, bv_var,
     real_lt, real_mul, real_val, real_var,
@@ -56,17 +56,22 @@ def build_attack_model():
 
 def main() -> None:
     assertions, projection = build_attack_model()
+    problem = Problem.from_terms(assertions, projection,
+                                 name="cps_attack_surface")
     print("CPS attack-surface quantification "
           "(projection: msg_id x gain = 12 bits)")
 
-    exact = exact_count(assertions, projection, timeout=300)
-    if exact.solved:
-        print(f"  exact attack points (enum): {exact.estimate} "
-              f"({exact.time_seconds:.1f}s)")
+    with Session() as session:
+        exact = session.count(problem, CountRequest(counter="enum",
+                                                    timeout=300))
+        if exact.solved:
+            print(f"  exact attack points (enum): {exact.estimate} "
+                  f"({exact.time_seconds:.1f}s)")
 
-    result = count_projected(assertions, projection, epsilon=0.8,
-                             delta=0.2, family="xor", seed=7)
-    print(f"  pact_xor estimate         : {result.estimate} "
+        result = session.count(
+            problem, CountRequest(counter="pact:xor", epsilon=0.8,
+                                  delta=0.2, seed=7))
+    print(f"  pact:xor estimate         : {result.estimate} "
           f"({result.solver_calls} solver calls, "
           f"{result.time_seconds:.2f}s)")
 

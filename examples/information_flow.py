@@ -20,7 +20,7 @@ Run:  python examples/information_flow.py
 
 import math
 
-from repro import count_projected, exact_count
+from repro import CountRequest, Problem, Session
 from repro.smt import (
     And, Equals, Ite, bv_and, bv_lshr, bv_or, bv_val, bv_var,
 )
@@ -39,16 +39,21 @@ def build_channel():
 
 def main() -> None:
     assertions, projection = build_channel()
+    problem = Problem.from_terms(assertions, projection,
+                                 name="leaky_checker")
     print("Information-flow quantification of a leaky password checker")
 
-    exact = exact_count(assertions, projection, timeout=300)
-    if exact.solved:
-        print(f"  distinct outputs (enum)   : {exact.estimate}")
+    with Session() as session:
+        exact = session.count(problem, CountRequest(counter="enum",
+                                                    timeout=300))
+        if exact.solved:
+            print(f"  distinct outputs (enum)   : {exact.estimate}")
 
-    result = count_projected(assertions, projection, epsilon=0.8,
-                             delta=0.2, family="xor", seed=9)
+        result = session.count(
+            problem, CountRequest(counter="pact:xor", epsilon=0.8,
+                                  delta=0.2, seed=9))
     leak_bits = math.log2(result.estimate) if result.estimate else 0.0
-    print(f"  pact_xor estimate         : {result.estimate} outputs "
+    print(f"  pact:xor estimate         : {result.estimate} outputs "
           f"({result.time_seconds:.2f}s)")
     print(f"  channel capacity          : ~{leak_bits:.2f} bits leaked "
           "per run (log2 of the output count)")

@@ -21,7 +21,7 @@ violate the assertion.
 Run:  python examples/quantitative_verification.py
 """
 
-from repro import count_projected, exact_count
+from repro import CountRequest, Problem, Session
 from repro.smt import (
     Equals, bv_extract, bv_val, bv_var, fp_add, fp_from_bv, fp_geq,
     fp_is_nan, fp_mul, fp_var, fp_to_bv, Not, And,
@@ -62,18 +62,24 @@ def ground_truth() -> int:
 
 def main() -> None:
     assertions, projection = build_ssa()
+    problem = Problem.from_terms(assertions, projection,
+                                 name="fp_sensor_scaling")
     truth = ground_truth()
     print("Quantitative verification of an FP sensor-scaling routine")
     print(f"  softfloat ground truth      : {truth} failing inputs / 256")
 
-    exact = exact_count(assertions, projection, timeout=300)
-    if exact.solved:
-        print(f"  enum through the solver     : {exact.estimate}")
-        assert exact.estimate == truth, "solver disagrees with softfloat!"
+    with Session() as session:
+        exact = session.count(problem, CountRequest(counter="enum",
+                                                    timeout=300))
+        if exact.solved:
+            print(f"  enum through the solver     : {exact.estimate}")
+            assert exact.estimate == truth, \
+                "solver disagrees with softfloat!"
 
-    result = count_projected(assertions, projection, epsilon=0.8,
-                             delta=0.2, family="xor", seed=3)
-    print(f"  pact_xor estimate           : {result.estimate} "
+        result = session.count(
+            problem, CountRequest(counter="pact:xor", epsilon=0.8,
+                                  delta=0.2, seed=3))
+    print(f"  pact:xor estimate           : {result.estimate} "
           f"({result.solver_calls} calls, {result.time_seconds:.2f}s)")
     print(f"  failure probability         : ~{result.estimate / 256:.1%} "
           "of uniformly random inputs")

@@ -1,15 +1,16 @@
 #!/usr/bin/env python3
 """Quickstart: approximate projected counting in five minutes.
 
-Builds a small hybrid formula (bit-vectors + reals), counts its projected
-solutions exactly with enum, then approximately with pact under all three
-hash families, and shows the observed error against the (eps, delta)
-guarantee.
+Builds a small hybrid formula (bit-vectors + reals) as a
+:class:`repro.Problem`, counts its projected solutions exactly with the
+``enum`` counter, then approximately with pact under all three hash
+families — every run through one :class:`repro.Session` — and shows the
+observed error against the (eps, delta) guarantee.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import count_projected, exact_count
+from repro import CountRequest, Problem, Session, count_projected
 from repro.smt import (
     Implies, bv_ult, bv_val, bv_var, real_lt, real_val, real_var,
 )
@@ -29,18 +30,28 @@ def main() -> None:
         # Low configurations need a cool system: x < 64 -> t < 10.
         Implies(bv_ult(x, bv_val(64, 8)), real_lt(t, real_val(10))),
     ]
+    problem = Problem.from_terms(formula, [x], name="quickstart")
 
-    exact = exact_count(formula, [x])
-    print(f"enum (exact)          : {exact.estimate} projected models "
-          f"({exact.solver_calls} solver calls)")
+    with Session() as session:
+        exact = session.count(problem, CountRequest(counter="enum"))
+        print(f"enum (exact)          : {exact.estimate} projected "
+              f"models ({exact.solver_calls} solver calls)")
 
-    for family in ("xor", "prime", "shift"):
-        result = count_projected(formula, [x], epsilon=0.8, delta=0.2,
-                                 family=family, seed=42)
-        error = relative_error(exact.estimate, result.estimate)
-        print(f"pact_{family:<6} (eps=0.8) : {result.estimate:>4}  "
-              f"error={error:.3f}  calls={result.solver_calls}  "
-              f"time={result.time_seconds:.2f}s")
+        for family in ("xor", "prime", "shift"):
+            response = session.count(
+                problem, CountRequest(counter=f"pact:{family}",
+                                      epsilon=0.8, delta=0.2, seed=42))
+            error = relative_error(exact.estimate, response.estimate)
+            print(f"pact:{family:<6} (eps=0.8) : {response.estimate:>4}  "
+                  f"error={error:.3f}  calls={response.solver_calls}  "
+                  f"time={response.time_seconds:.2f}s")
+
+        # The pre-API entry points still work, bit-identically — one
+        # legacy-shim line to prove the compatibility seam:
+        legacy = count_projected(formula, [x], epsilon=0.8, delta=0.2,
+                                 family="xor", seed=42)
+        assert legacy.estimate == session.count(
+            problem, CountRequest(counter="pact:xor", seed=42)).estimate
 
     print("\nThe theoretical bound allows error <= 0.8; pact typically "
           "sits far below it (paper Fig. 2).")

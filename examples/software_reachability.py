@@ -14,7 +14,7 @@ if it can reach the sink with the budget exhausted past the red line.
 Run:  python examples/software_reachability.py
 """
 
-from repro import count_projected, exact_count
+from repro import CountRequest, Problem, Session
 from repro.smt import (
     Equals, Iff, Implies, bv_extract, bv_val, bv_var, real_add, real_lt,
     real_val, real_var,
@@ -62,13 +62,18 @@ def main() -> None:
                    if 3 * k + STAGES > RED_LINE)
     print(f"  closed-form violating paths: {expected}")
 
-    exact = exact_count(assertions, projection, timeout=300)
-    if exact.solved:
-        print(f"  enum (exact)               : {exact.estimate}")
+    problem = Problem.from_terms(assertions, projection,
+                                 name="cfg_paths")
+    with Session() as session:
+        exact = session.count(problem, CountRequest(counter="enum",
+                                                    timeout=300))
+        if exact.solved:
+            print(f"  enum (exact)               : {exact.estimate}")
 
-    result = count_projected(assertions, projection, epsilon=0.8,
-                             delta=0.2, family="xor", seed=11)
-    print(f"  pact_xor estimate          : {result.estimate} "
+        result = session.count(
+            problem, CountRequest(counter="pact:xor", epsilon=0.8,
+                                  delta=0.2, seed=11))
+    print(f"  pact:xor estimate          : {result.estimate} "
           f"({result.solver_calls} calls, {result.time_seconds:.2f}s)")
     print("\nEach counted assignment is one CFG path (a branch choice "
           "per diamond) that can exhaust the budget past the red line "

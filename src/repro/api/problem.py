@@ -1,0 +1,146 @@
+"""The immutable counting problem: one object, three front doors.
+
+A :class:`Problem` owns everything the counters need to know about *what*
+is being counted — the assertions, the projection set, a name and a logic
+tag — independently of *how* it is counted (that is the
+:class:`repro.api.request.CountRequest`).  It can be constructed from
+
+* in-memory terms (:meth:`Problem.from_terms`),
+* SMT-LIB text (:meth:`Problem.from_script`),
+* a file on disk (:meth:`Problem.from_file`), or
+* a generated benchmark instance (:meth:`Problem.from_instance`),
+
+and it owns the two canonical serialisations every subsystem shares: the
+deterministic SMT-LIB script (:meth:`Problem.to_script`, what crosses
+process boundaries) and the cache fingerprint (:meth:`Problem.fingerprint`,
+what keys the result cache).  ``engine/cache.py`` used to own the
+fingerprint algorithm and therefore had to know which counter parameters
+matter; that knowledge now lives here, next to the problem it identifies,
+and the engine delegates.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Mapping
+
+from repro.errors import CounterError
+from repro.smt.printer import print_term, write_script
+from repro.smt.terms import Term
+
+# The historical prefix of every fingerprint (engine/cache.py's
+# "pact-cache-v1"); keeping it means caches written before the API layer
+# existed still hit.
+FINGERPRINT_SALT = "pact-cache-v1"
+
+
+def fingerprint_terms(assertions, projection,
+                      params: Mapping | None = None) -> str:
+    """Canonical fingerprint of (formula, projection, parameters).
+
+    The SHA-256 of the printed assertions, the projection variables (name
+    and sort, in order) and a canonical JSON of ``params`` — anything
+    that changes the answer or the budget.  Printing is deterministic and
+    process-independent, so fingerprints are stable across runs and
+    machines.
+    """
+    pieces = [FINGERPRINT_SALT]
+    pieces.extend(print_term(assertion) for assertion in assertions)
+    pieces.append("|projection|")
+    pieces.extend(f"{var.name}:{var.sort!r}" for var in projection)
+    if params:
+        pieces.append(json.dumps(dict(params), sort_keys=True, default=str))
+    return hashlib.sha256("\n".join(pieces).encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class Problem:
+    """An immutable projected-counting problem."""
+
+    assertions: tuple[Term, ...]
+    projection: tuple[Term, ...]
+    name: str = "problem"
+    logic: str = "ALL"
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_terms(cls, assertions, projection, name: str = "problem",
+                   logic: str = "ALL") -> "Problem":
+        """Build from in-memory terms (a single assertion is accepted)."""
+        if isinstance(assertions, Term):
+            assertions = [assertions]
+        if not projection:
+            raise CounterError(
+                "no projection set: pass the variables to project onto")
+        return cls(assertions=tuple(assertions),
+                   projection=tuple(projection), name=name, logic=logic)
+
+    @classmethod
+    def from_script(cls, text: str, name: str = "script",
+                    project: list[str] | None = None) -> "Problem":
+        """Parse SMT-LIB text; the projection set comes from
+        ``(set-info :projected-vars (...))`` unless ``project`` (a list of
+        declared variable names) overrides it."""
+        from repro.smt.parser import parse_script
+        script = parse_script(text)
+        projection = script.projection
+        if project:
+            projection = []
+            for raw in project:
+                if raw not in script.declarations:
+                    raise CounterError(
+                        f"projected variable {raw!r} undeclared")
+                projection.append(script.declarations[raw])
+        if not projection:
+            raise CounterError(
+                "no projection set: pass --project or add "
+                "(set-info :projected-vars (...)) to the script")
+        return cls(assertions=tuple(script.assertions),
+                   projection=tuple(projection), name=name,
+                   logic=script.logic or "ALL")
+
+    @classmethod
+    def from_file(cls, path, project: list[str] | None = None) -> "Problem":
+        """Read and parse an ``.smt2`` file; the name is the file stem."""
+        path = pathlib.Path(path)
+        return cls.from_script(path.read_text(), name=path.stem,
+                               project=project)
+
+    @classmethod
+    def from_instance(cls, instance) -> "Problem":
+        """Adapt a :class:`repro.benchgen.spec.Instance`."""
+        return cls(assertions=tuple(instance.assertions),
+                   projection=tuple(instance.projection),
+                   name=instance.name, logic=instance.logic)
+
+    # ------------------------------------------------------------------
+    # canonical serialisations
+    # ------------------------------------------------------------------
+    @cached_property
+    def script(self) -> str:
+        """The deterministic SMT-LIB serialisation (cached)."""
+        return write_script(list(self.assertions), logic=self.logic,
+                            projection=list(self.projection))
+
+    def to_script(self) -> str:
+        return self.script
+
+    def fingerprint(self, params: Mapping | None = None) -> str:
+        """The cache fingerprint under ``params`` (see
+        :func:`fingerprint_terms`)."""
+        return fingerprint_terms(self.assertions, self.projection, params)
+
+    # ------------------------------------------------------------------
+    def projection_bits(self) -> int:
+        return sum(var.sort.width for var in self.projection)
+
+    def __repr__(self) -> str:
+        return (f"Problem({self.name}, {self.logic}, "
+                f"{len(self.assertions)} assertions, "
+                f"|S|={self.projection_bits()} bits)")

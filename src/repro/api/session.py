@@ -1,0 +1,426 @@
+"""The Session façade: one object that owns engine lifecycle and serves
+every counting workload.
+
+A :class:`Session` wires a :class:`repro.engine.pool.ExecutionPool` and an
+optional :class:`repro.engine.cache.ResultCache` behind three verbs:
+
+* :meth:`Session.count` — one problem, one counter (iteration fan-out
+  when the pool is parallel);
+* :meth:`Session.count_batch` — many problems through the engine with the
+  fingerprint cache consulted per problem, responses in input order on
+  every backend;
+* :meth:`Session.portfolio` — race several counters on one problem under
+  a shared deadline; the first (in requested order) that solves wins and
+  the losers are cancelled cooperatively.
+
+The CLI and the harness are thin clients of this class; new fronts
+(async services, batch endpoints) should be too.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.api.problem import Problem
+from repro.api.registry import canonical_name, resolve
+from repro.api.request import CountRequest, CountResponse, ProgressEvent
+from repro.engine.cache import ResultCache
+from repro.engine.fanout import parse_cached, preseed_parse_memo
+from repro.engine.pool import ExecutionPool, Task, TaskResult
+from repro.errors import CounterError, ReproError
+from repro.status import Status
+from repro.utils.deadline import CooperativeDeadline, Deadline
+
+__all__ = ["DEFAULT_PORTFOLIO", "PortfolioResult", "Session"]
+
+DEFAULT_PORTFOLIO = ("pact:xor", "pact:prime", "pact:shift", "cdm")
+
+
+@dataclass(frozen=True)
+class _CountSpec:
+    """A picklable (problem, request) pair for pool workers.
+
+    The problem travels as its deterministic SMT-LIB serialisation (terms
+    are hash-consed per process; the per-process parse memo in
+    :mod:`repro.engine.fanout` makes re-parsing a one-time cost, and the
+    orchestrator pre-seeds it so serial/thread workers never re-parse).
+    """
+
+    counter: str
+    script: str
+    problem: str
+    logic: str
+    epsilon: float
+    delta: float
+    seed: int
+    timeout: float | None
+    iteration_override: int | None
+    limit: int | None
+
+
+def _run_spec(spec: _CountSpec, cancel=None,
+              budget: float | None = None) -> CountResponse:
+    """Worker body: rebuild the problem and run one counter.
+
+    ``budget`` is the pool's effective per-task allowance (already
+    clamped to any shared batch deadline); ``cancel`` is an optional
+    shared cancel token (thread backend only) that cuts the run short
+    when a portfolio winner is found.
+    """
+    assertions, projection = parse_cached(spec.script)
+    problem = Problem(assertions=tuple(assertions),
+                      projection=tuple(projection), name=spec.problem,
+                      logic=spec.logic)
+    request = CountRequest(
+        counter=spec.counter, epsilon=spec.epsilon, delta=spec.delta,
+        seed=spec.seed,
+        timeout=spec.timeout if budget is None else budget,
+        iteration_override=spec.iteration_override, limit=spec.limit)
+    deadline = (CooperativeDeadline(request.timeout, cancel)
+                if cancel is not None else None)
+    counter = resolve(spec.counter)
+    try:
+        return counter.count(problem, request, deadline=deadline)
+    except ReproError as error:
+        return CountResponse(estimate=None, status=Status.ERROR,
+                             counter=counter.name, problem=spec.problem,
+                             detail=str(error))
+
+
+@dataclass
+class PortfolioResult:
+    """Outcome of a portfolio race.
+
+    ``winner`` is the canonical name of the first counter *in requested
+    order* that solved — a deterministic rule, so a fixed seed yields the
+    same winner on every serial run.  ``entries`` holds one
+    :class:`CountResponse` per requested counter, in requested order,
+    with per-counter timing.
+    """
+
+    problem: str
+    winner: str | None
+    entries: list[CountResponse]
+    elapsed: float
+
+    @property
+    def solved(self) -> bool:
+        return self.winner is not None
+
+    @property
+    def response(self) -> CountResponse | None:
+        """The winning counter's response (None if nothing solved)."""
+        for entry in self.entries:
+            if entry.counter == self.winner and entry.solved:
+                return entry
+        return None
+
+    def report(self) -> str:
+        """The per-counter timing report."""
+        lines = [f"portfolio {self.problem}: "
+                 f"winner={self.winner or 'none'} "
+                 f"elapsed={self.elapsed:.2f}s"]
+        for entry in self.entries:
+            line = (f"  {entry.counter:<12} {entry.status:>9} "
+                    f"{entry.time_seconds:7.2f}s")
+            if entry.solved:
+                kind = "exact" if entry.exact else "approx"
+                line += f"  {kind} {entry.estimate}"
+            elif entry.detail:
+                line += f"  ({entry.detail})"
+            lines.append(line)
+        return "\n".join(lines)
+
+
+class Session:
+    """A counting session owning pool + cache lifecycle.
+
+    ``jobs``/``backend`` configure the execution pool (``jobs=1`` is the
+    serial default; ``jobs=0`` means one worker per CPU); ``cache_dir``
+    enables the fingerprint result cache.  Existing ``pool``/``cache``
+    objects can be injected instead.  ``request`` sets the session's
+    default :class:`CountRequest`, overridable per call.
+
+    Usable as a context manager; exiting flushes the cache.
+    """
+
+    def __init__(self, jobs: int = 1, backend: str | None = None,
+                 cache_dir=None, pool: ExecutionPool | None = None,
+                 cache: ResultCache | None = None,
+                 request: CountRequest | None = None):
+        self.pool = (pool if pool is not None
+                     else ExecutionPool(jobs=jobs, backend=backend))
+        if cache is not None:
+            self.cache = cache
+        elif cache_dir is not None:
+            self.cache = ResultCache(cache_dir)
+        else:
+            self.cache = None
+        self.request = request if request is not None else CountRequest()
+
+    # ------------------------------------------------------------------
+    # the three verbs
+    # ------------------------------------------------------------------
+    def count(self, problem: Problem, request: CountRequest | None = None,
+              *, progress=None, **overrides) -> CountResponse:
+        """Count one problem with one counter.
+
+        When the session pool is parallel the counter's independent
+        median iterations fan out across it (bit-identical to serial).
+        """
+        request = self._request_of(request, overrides)
+        counter = resolve(request.counter)
+        fingerprint = self._fingerprint(problem, request, counter.name)
+        cached = self._lookup(fingerprint, counter.name, problem.name)
+        if cached is not None:
+            self._emit(progress, "cache-hit", cached)
+            return cached
+        start = time.monotonic()
+        try:
+            response = counter.count(
+                problem, request,
+                pool=self.pool if self.pool.parallel else None)
+        except ReproError as error:
+            response = CountResponse(
+                estimate=None, status=Status.ERROR, counter=counter.name,
+                problem=problem.name, detail=str(error),
+                time_seconds=time.monotonic() - start)
+        # No flush here: close()/__exit__ (and each count_batch) persist
+        # the cache once, so a counting loop is not quadratic in I/O.
+        self._store(fingerprint, response)
+        self._emit(progress, "completed", response)
+        return response
+
+    def count_batch(self, problems, request: CountRequest | None = None,
+                    *, progress=None, **overrides) -> list[CountResponse]:
+        """Count many problems; responses come back in input order.
+
+        Problems fan out across the pool as whole units (each worker runs
+        its counter serially); the fingerprint cache is consulted per
+        problem and solved/timed-out outcomes are persisted.  Ordering
+        and estimates are identical on serial, thread and process
+        backends.
+        """
+        problems = list(problems)
+        request = self._request_of(request, overrides)
+        counter = resolve(request.counter)
+        responses: list[CountResponse | None] = [None] * len(problems)
+        fingerprints: dict[int, str] = {}
+        tasks: list[Task] = []
+        for index, problem in enumerate(problems):
+            fingerprint = self._fingerprint(problem, request, counter.name)
+            cached = self._lookup(fingerprint, counter.name, problem.name)
+            if cached is not None:
+                responses[index] = cached
+                self._emit(progress, "cache-hit", cached)
+                continue
+            if fingerprint is not None:
+                fingerprints[index] = fingerprint
+            spec = self._spec(problem, request, counter.name)
+            tasks.append(Task(key=index, fn=_run_spec, args=(spec, None),
+                              budget=request.timeout))
+
+        def on_complete(task_result: TaskResult) -> None:
+            index = task_result.key
+            response = self._response_of(task_result,
+                                         problems[index].name,
+                                         counter.name)
+            responses[index] = response
+            self._store(fingerprints.get(index), response)
+            self._emit(progress, "completed", response)
+
+        self.pool.run(tasks, progress=on_complete)
+        if self.cache is not None:
+            self.cache.flush()
+        return [response for response in responses if response is not None]
+
+    def portfolio(self, problem: Problem, counters=None,
+                  request: CountRequest | None = None, *,
+                  timeout: float | None = None, progress=None,
+                  **overrides) -> PortfolioResult:
+        """Race several counters on one problem under a shared deadline.
+
+        The winner is the first counter in requested order that solved;
+        losers are cancelled cooperatively (not started at all on the
+        serial pool; cut short via a shared cancel token on the thread
+        backend; bounded by the shared deadline on the process backend).
+        With a fixed seed the serial race is fully deterministic.
+        """
+        request = self._request_of(request, overrides)
+        if timeout is None:
+            timeout = request.timeout
+        names = [canonical_name(name)
+                 for name in (counters or DEFAULT_PORTFOLIO)]
+        if not names:
+            raise CounterError("portfolio needs at least one counter")
+        start = time.monotonic()
+        specs = [self._spec(problem,
+                            request.replace(counter=name, timeout=timeout),
+                            name)
+                 for name in names]
+        if self.pool.parallel:
+            entries = self._race_parallel(problem, names, specs, timeout,
+                                          progress)
+        else:
+            entries = self._race_serial(problem, names, specs, timeout,
+                                        progress)
+        winner = next((entry.counter for entry in entries if entry.solved),
+                      None)
+        outcome = PortfolioResult(problem=problem.name, winner=winner,
+                                  entries=entries,
+                                  elapsed=time.monotonic() - start)
+        if winner is not None:
+            self._emit(progress, "winner", outcome.response)
+        return outcome
+
+    # ------------------------------------------------------------------
+    # portfolio internals
+    # ------------------------------------------------------------------
+    def _race_serial(self, problem, names, specs, timeout, progress):
+        deadline = Deadline(timeout)
+        entries: list[CountResponse] = []
+        solved = False
+        for name, spec in zip(names, specs):
+            if solved:
+                response = CountResponse(
+                    estimate=None, status=Status.CANCELLED, counter=name,
+                    problem=problem.name,
+                    detail="portfolio: winner already found")
+                entries.append(response)
+                self._emit(progress, "cancelled", response)
+                continue
+            remaining = deadline.remaining()
+            budget = None if remaining == float("inf") else remaining
+            response = _run_spec(spec, None, budget=budget)
+            solved = solved or response.solved
+            entries.append(response)
+            self._emit(progress, "completed", response)
+        return entries
+
+    def _race_parallel(self, problem, names, specs, timeout, progress):
+        cancel = (threading.Event() if self.pool.backend == "thread"
+                  else None)
+        deadline_at = (time.monotonic() + timeout
+                       if timeout is not None else None)
+        tasks = [Task(key=index, fn=_run_spec, args=(spec, cancel),
+                      budget=timeout, deadline_at=deadline_at)
+                 for index, spec in enumerate(specs)]
+        slots: dict[int, CountResponse] = {}
+        state = {"won": False}
+
+        def on_complete(task_result: TaskResult) -> None:
+            response = self._response_of(task_result, problem.name,
+                                         names[task_result.key])
+            if response.solved and not state["won"]:
+                state["won"] = True
+                if cancel is not None:
+                    cancel.set()
+            elif (state["won"] and cancel is not None
+                    and response.status is Status.TIMEOUT
+                    and (timeout is None
+                         or response.time_seconds < 0.9 * timeout)):
+                # The shared token cut this loser short after the winner
+                # (a run that used ~all of the shared budget timed out on
+                # its own and keeps its TIMEOUT status).
+                response.status = Status.CANCELLED
+                response.detail = (response.detail
+                                   or "portfolio: cancelled by winner")
+            slots[task_result.key] = response
+            self._emit(progress, "completed", response)
+
+        self.pool.run(tasks, progress=on_complete)
+        return [slots[index] for index in range(len(specs))
+                if index in slots]
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def _request_of(self, request, overrides) -> CountRequest:
+        base = request if request is not None else self.request
+        return base.replace(**overrides) if overrides else base
+
+    def _spec(self, problem: Problem, request: CountRequest,
+              counter: str) -> _CountSpec:
+        script = problem.to_script()
+        # Pre-seed the parse memo: in-process (and forked) workers reuse
+        # the original term objects instead of re-parsing.
+        preseed_parse_memo(script, problem.assertions, problem.projection)
+        return _CountSpec(
+            counter=counter, script=script, problem=problem.name,
+            logic=problem.logic, epsilon=request.epsilon,
+            delta=request.delta, seed=request.seed,
+            timeout=request.timeout,
+            iteration_override=request.iteration_override,
+            limit=request.limit)
+
+    def _fingerprint(self, problem, request, counter) -> str | None:
+        if self.cache is None:
+            return None
+        return problem.fingerprint(request.cache_params(counter))
+
+    def _lookup(self, fingerprint, counter, problem) -> CountResponse | None:
+        if fingerprint is None:
+            return None
+        entry = self.cache.get(fingerprint)
+        if entry is None:
+            return None
+        return CountResponse.from_payload(entry, counter=counter,
+                                          problem=problem)
+
+    def _store(self, fingerprint, response: CountResponse) -> None:
+        if fingerprint is None or self.cache is None:
+            return
+        if response.status in (Status.OK, Status.TIMEOUT):
+            self.cache.put(fingerprint, response.to_payload())
+
+    def _response_of(self, task_result: TaskResult, problem: str,
+                     counter: str) -> CountResponse:
+        if task_result.ok:
+            response = task_result.value
+            response.worker = task_result.worker
+            return response
+        return CountResponse(
+            estimate=None, status=task_result.status, counter=counter,
+            problem=problem, detail=str(task_result.error or ""),
+            time_seconds=task_result.time_seconds,
+            worker=task_result.worker)
+
+    @staticmethod
+    def _emit(progress, kind: str, response: CountResponse | None) -> None:
+        if progress is None or response is None:
+            return
+        progress(ProgressEvent(kind=kind, problem=response.problem,
+                               counter=response.counter,
+                               status=response.status,
+                               time_seconds=response.time_seconds))
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Flush the cache (the pool holds no persistent resources)."""
+        if self.cache is not None:
+            self.cache.flush()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def stats(self) -> dict:
+        """Cache and per-worker accounting for reports."""
+        return {
+            "jobs": self.pool.jobs, "backend": self.pool.backend,
+            "worker_times": {tag: list(times) for tag, times
+                             in self.pool.worker_times.items()},
+            "cache": self.cache.stats if self.cache is not None else None,
+        }
+
+    def __repr__(self) -> str:
+        cache = self.cache.path if self.cache is not None else None
+        return (f"Session(jobs={self.pool.jobs}, "
+                f"backend={self.pool.backend!r}, cache={cache})")

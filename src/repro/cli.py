@@ -1,4 +1,4 @@
-"""Command-line interface.
+"""Command-line interface — a thin client of :mod:`repro.api`.
 
 Subcommands::
 
@@ -6,6 +6,10 @@ Subcommands::
                          [--project x,y] [--timeout T] [--seed N]
                          [--jobs N] [--backend B]
                          [--cache-dir DIR] [--no-cache]
+    pact portfolio FILE.smt2 [--counters pact:xor,pact:prime,cdm]
+                         [--epsilon E] [--delta D] [--seed N]
+                         [--timeout T] [--project x,y] [--jobs N]
+                         [--backend B]
     pact enum FILE.smt2  [--project x,y] [--timeout T] [--limit N]
     pact generate --logic QF_BVFP --out DIR [--count N] [--width W]
     pact run      [--preset smoke|laptop|paper] [--jobs N] [--backend B]
@@ -17,11 +21,17 @@ Subcommands::
 ``FILE.smt2`` may declare the projection set via
 ``(set-info :projected-vars (x y))``; ``--project`` overrides it.
 
-``--jobs N`` executes iterations (``count``) or matrix slots (``run``
-and the experiments) across N workers via :mod:`repro.engine`; results
-are bit-identical to ``--jobs 1``.  ``run`` keeps a fingerprint result
-cache (default ``.pact-cache/``) so repeated invocations skip solved
-slots; ``--no-cache`` disables it.
+No command dispatches counters itself: every counter name (``--family``,
+``--counters``, the run/experiment configurations) resolves through the
+:mod:`repro.api` registry, and execution goes through a
+:class:`repro.api.Session` owning the pool and the fingerprint cache.
+
+``--jobs N`` executes iterations (``count``), racing counters
+(``portfolio``) or matrix slots (``run`` and the experiments) across N
+workers via :mod:`repro.engine`; ``count`` results are bit-identical to
+``--jobs 1``.  ``run`` keeps a fingerprint result cache (default
+``.pact-cache/``) so repeated invocations skip solved slots;
+``--no-cache`` disables it.
 """
 
 from __future__ import annotations
@@ -30,106 +40,99 @@ import argparse
 import pathlib
 import sys
 
+from repro.api import (
+    CountRequest, DEFAULT_PORTFOLIO, Problem, Session,
+)
 from repro.benchgen.generators import GENERATORS
-from repro.core import cdm_count, count_projected, exact_count
-from repro.engine import ExecutionPool, ResultCache, formula_fingerprint
 from repro.errors import ReproError
 from repro.harness.accuracy import accuracy_csv, accuracy_plot, run_accuracy
 from repro.harness.cactus import cactus_csv, cactus_plot, cactus_table
 from repro.harness.presets import Preset
 from repro.harness.report import matrix_summary, records_csv
 from repro.harness.table1 import run_table1, table1_rows
-from repro.smt.parser import parse_script
 
 
-def _load(path: str, project: str | None):
-    script = parse_script(pathlib.Path(path).read_text())
-    projection = script.projection
-    if project:
-        names = [name.strip() for name in project.split(",")]
-        projection = []
-        for name in names:
-            if name not in script.declarations:
-                raise ReproError(f"projected variable {name!r} undeclared")
-            projection.append(script.declarations[name])
-    if not projection:
-        raise ReproError(
-            "no projection set: pass --project or add "
-            "(set-info :projected-vars (...)) to the script")
-    return script.assertions, projection
+def _problem(args) -> Problem:
+    project = None
+    if getattr(args, "project", None):
+        project = [name.strip() for name in args.project.split(",")]
+    return Problem.from_file(args.file, project=project)
 
 
-def _make_pool(args) -> ExecutionPool | None:
-    jobs = getattr(args, "jobs", 1)
-    backend = getattr(args, "backend", None)
-    if (jobs is None or jobs == 1) and backend is None:
-        return None
-    return ExecutionPool(jobs=jobs, backend=backend)
+def _session(args, default_cache_dir: str | None = None) -> Session:
+    cache_dir = None
+    if not getattr(args, "no_cache", False):
+        cache_dir = getattr(args, "cache_dir", None) or default_cache_dir
+    # jobs=0 means "one per CPU" (ExecutionPool resolves it); only
+    # commands without engine flags fall back to the serial default.
+    return Session(jobs=getattr(args, "jobs", 1),
+                   backend=getattr(args, "backend", None),
+                   cache_dir=cache_dir)
 
 
-def _make_cache(args, default_dir: str | None = None) -> ResultCache | None:
-    if getattr(args, "no_cache", False):
-        return None
-    cache_dir = getattr(args, "cache_dir", None) or default_dir
-    if cache_dir is None:
-        return None
-    return ResultCache(cache_dir)
+def _request(args, counter: str) -> CountRequest:
+    return CountRequest(counter=counter, epsilon=args.epsilon,
+                        delta=args.delta, seed=args.seed,
+                        timeout=args.timeout)
+
+
+def _print_solved(response) -> None:
+    kind = "exact" if response.exact else "approximate"
+    print(f"s {kind} {response.estimate}")
 
 
 def _cmd_count(args) -> int:
-    assertions, projection = _load(args.file, args.project)
-    pool = _make_pool(args)
-    cache = _make_cache(args)
-
-    fingerprint = None
-    if cache is not None:
-        fingerprint = formula_fingerprint(
-            assertions, projection,
-            {"family": args.family, "epsilon": args.epsilon,
-             "delta": args.delta, "seed": args.seed,
-             "timeout": args.timeout})
-        entry = cache.get(fingerprint)
-        if entry is not None and entry["status"] == "ok":
-            kind = "exact" if entry.get("exact") else "approximate"
-            print(f"s {kind} {entry['estimate']}")
-            print(f"c cache hit ({cache.path}); originally solved in "
-                  f"{entry.get('time_seconds', 0.0):.2f}s")
+    problem = _problem(args)
+    with _session(args) as session:
+        response = session.count(problem, _request(args, args.family))
+    if response.cached:
+        if response.solved:
+            _print_solved(response)
+            print(f"c cache hit ({session.cache.path}); originally "
+                  f"solved in {response.time_seconds:.2f}s")
             return 0
-
-    if args.family == "cdm":
-        result = cdm_count(assertions, projection, epsilon=args.epsilon,
-                           delta=args.delta, seed=args.seed,
-                           timeout=args.timeout, pool=pool)
-    else:
-        result = count_projected(
-            assertions, projection, epsilon=args.epsilon,
-            delta=args.delta, family=args.family, seed=args.seed,
-            timeout=args.timeout, pool=pool)
-    if result.solved:
-        kind = "exact" if result.exact else "approximate"
-        print(f"s {kind} {result.estimate}")
-        print(f"c solver_calls {result.solver_calls} "
-              f"time {result.time_seconds:.2f}s family {result.family}")
-        if cache is not None:
-            cache.put(fingerprint, {
-                "estimate": result.estimate, "status": result.status,
-                "exact": result.exact,
-                "time_seconds": result.time_seconds,
-                "solver_calls": result.solver_calls})
-            cache.flush()
+        print(f"s {response.status}")
+        print(f"c cache hit ({session.cache.path}); cached "
+              f"{response.status} under this budget (--no-cache or a "
+              f"different --timeout retries)")
+        return 1
+    if response.solved:
+        _print_solved(response)
+        print(f"c solver_calls {response.solver_calls} "
+              f"time {response.time_seconds:.2f}s "
+              f"counter {response.counter}")
         return 0
-    print(f"s {result.status}")
+    print(f"s {response.status}")
     return 1
 
 
+def _cmd_portfolio(args) -> int:
+    problem = _problem(args)
+    counters = ([name.strip() for name in args.counters.split(",")
+                 if name.strip()] or list(DEFAULT_PORTFOLIO))
+    with _session(args) as session:
+        outcome = session.portfolio(problem, counters,
+                                    _request(args, counters[0]))
+    if outcome.solved:
+        _print_solved(outcome.response)
+        print(f"c winner {outcome.winner}")
+    else:
+        print("s unsolved")
+    for line in outcome.report().splitlines():
+        print(f"c {line}")
+    return 0 if outcome.solved else 1
+
+
 def _cmd_enum(args) -> int:
-    assertions, projection = _load(args.file, args.project)
-    result = exact_count(assertions, projection, timeout=args.timeout,
-                         limit=args.limit)
-    if result.solved:
-        print(f"s exact {result.estimate}")
+    problem = _problem(args)
+    with Session() as session:
+        response = session.count(
+            problem, CountRequest(counter="enum", timeout=args.timeout,
+                                  limit=args.limit))
+    if response.solved:
+        print(f"s exact {response.estimate}")
         return 0
-    print(f"s {result.status}")
+    print(f"s {response.status}")
     return 1
 
 
@@ -163,8 +166,8 @@ def _cmd_run(args) -> int:
     from repro.harness.table1 import table1_suite
 
     preset = Preset.by_name(args.preset)
-    pool = _make_pool(args) or ExecutionPool(jobs=1)
-    cache = _make_cache(args, default_dir=".pact-cache")
+    session = _session(args, default_cache_dir=".pact-cache")
+    pool, cache = session.pool, session.cache
 
     instances = table1_suite(preset)
     print(f"running {len(instances)} instances x 4 configurations "
@@ -196,9 +199,10 @@ def _cmd_run(args) -> int:
 def _experiment(args, runner) -> int:
     preset = Preset.by_name(args.preset)
     out = pathlib.Path(args.out) if args.out else None
-    pool = _make_pool(args)
+    pool = _session(args).pool
     progress = _progress_printer if args.verbose else None
-    return runner(preset, out, progress, pool)
+    return runner(preset, out, progress,
+                  pool if pool.parallel else None)
 
 
 def _run_table1(preset, out, progress, pool) -> int:
@@ -252,6 +256,15 @@ def _add_engine_arguments(parser, cache: bool = True) -> None:
                             help="disable the result cache")
 
 
+def _add_request_arguments(parser) -> None:
+    parser.add_argument("--epsilon", type=float, default=0.8)
+    parser.add_argument("--delta", type=float, default=0.2)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--timeout", type=float, default=None)
+    parser.add_argument("--project", default=None,
+                        help="comma-separated projection variables")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="pact",
@@ -263,14 +276,21 @@ def build_parser() -> argparse.ArgumentParser:
     count.add_argument("file")
     count.add_argument("--family", default="xor",
                        choices=["xor", "prime", "shift", "cdm"])
-    count.add_argument("--epsilon", type=float, default=0.8)
-    count.add_argument("--delta", type=float, default=0.2)
-    count.add_argument("--seed", type=int, default=1)
-    count.add_argument("--timeout", type=float, default=None)
-    count.add_argument("--project", default=None,
-                       help="comma-separated projection variables")
+    _add_request_arguments(count)
     _add_engine_arguments(count)
     count.set_defaults(handler=_cmd_count)
+
+    portfolio = sub.add_parser(
+        "portfolio",
+        help="race several counters, first solved wins")
+    portfolio.add_argument("file")
+    portfolio.add_argument("--counters",
+                           default=",".join(DEFAULT_PORTFOLIO),
+                           help="comma-separated registry names "
+                                "(e.g. pact:xor,pact:prime,cdm)")
+    _add_request_arguments(portfolio)
+    _add_engine_arguments(portfolio, cache=False)
+    portfolio.set_defaults(handler=_cmd_portfolio)
 
     enum = sub.add_parser("enum", help="exact count by enumeration")
     enum.add_argument("file")

@@ -44,6 +44,7 @@ from repro.smt.terms import (
     Equals, Not, TRUE, Term, Xor, bool_var, bv_extract, bv_val, bv_var,
     fp_var, real_var, array_var, uf,
 )
+from repro.status import Status
 from repro.utils.deadline import Deadline
 from repro.utils.rng import SeedSequence
 from repro.utils.stats import median
@@ -154,17 +155,20 @@ def cdm_count(assertions, projection: list[Term], epsilon: float = 0.8,
               delta: float = 0.2, seed: int = 1,
               timeout: float | None = None,
               iteration_override: int | None = None,
-              pool=None) -> CountResult:
+              pool=None, deadline: Deadline | None = None) -> CountResult:
     """Approximate projected counting with the CDM construction.
 
     ``pool`` is an optional :class:`repro.engine.pool.ExecutionPool`;
     when parallel, the median repetitions fan out across its workers.
+    ``deadline`` optionally replaces the ``timeout``-derived deadline
+    with an external (possibly cancellable) one, like ``pact_count``'s.
     """
     if isinstance(assertions, Term):
         assertions = [assertions]
     assertions = list(assertions)
     start = time.monotonic()
-    deadline = Deadline(timeout)
+    if deadline is None:
+        deadline = Deadline(timeout)
     copies = copy_count(epsilon)
     iterations = math.ceil(17 * math.log(3 / delta))
     if iteration_override is not None:
@@ -172,7 +176,7 @@ def cdm_count(assertions, projection: list[Term], epsilon: float = 0.8,
     calls = CallCounter()
     estimates: list[int] = []
 
-    def finish(estimate, status="ok", exact=False):
+    def finish(estimate, status=Status.OK, exact=False):
         return CountResult(
             estimate=estimate, status=status, exact=exact,
             solver_calls=calls.solver_calls, sat_answers=calls.sat_answers,
@@ -213,9 +217,9 @@ def cdm_count(assertions, projection: list[Term], epsilon: float = 0.8,
                     deadline, calls, iteration))
         return finish(median(estimates))
     except SolverTimeoutError:
-        return finish(None, status="timeout")
+        return finish(None, status=Status.TIMEOUT)
     except ResourceBudgetError:
-        return finish(None, status="budget")
+        return finish(None, status=Status.BUDGET)
 
 
 def _integer_root(value: int, degree: int) -> int:

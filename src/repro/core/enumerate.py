@@ -14,21 +14,26 @@ from repro.core.result import CountResult
 from repro.errors import SolverTimeoutError
 from repro.smt.solver import SmtSolver
 from repro.smt.terms import Term
+from repro.status import Status
 from repro.utils.deadline import Deadline
 
 
 def exact_count(assertions, projection: list[Term],
                 timeout: float | None = None,
-                limit: int | None = None) -> CountResult:
+                limit: int | None = None,
+                deadline: Deadline | None = None) -> CountResult:
     """Count |Sol(F)|_S| exactly by projected enumeration.
 
     Returns status "ok"/exact on completion, "timeout" on deadline,
-    "limit" if more than ``limit`` solutions exist.
+    "limit" if more than ``limit`` solutions exist.  ``deadline``
+    optionally replaces the ``timeout``-derived deadline with an
+    external (possibly cancellable) one.
     """
     if isinstance(assertions, Term):
         assertions = [assertions]
     start = time.monotonic()
-    deadline = Deadline(timeout)
+    if deadline is None:
+        deadline = Deadline(timeout)
     solver = SmtSolver()
     solver.assert_all(assertions)
     bits_of = [solver.ensure_bits(var) for var in projection]
@@ -43,7 +48,7 @@ def exact_count(assertions, projection: list[Term],
             count += 1
             if limit is not None and count > limit:
                 return CountResult(
-                    estimate=None, status="limit", solver_calls=calls,
+                    estimate=None, status=Status.LIMIT, solver_calls=calls,
                     time_seconds=time.monotonic() - start, detail=
                     f"more than {limit} projected solutions")
             blocking = []
@@ -55,8 +60,8 @@ def exact_count(assertions, projection: list[Term],
             solver.add_clause_lits(blocking)
     except SolverTimeoutError:
         return CountResult(
-            estimate=None, status="timeout", solver_calls=calls,
+            estimate=None, status=Status.TIMEOUT, solver_calls=calls,
             time_seconds=time.monotonic() - start)
     return CountResult(
-        estimate=count, status="ok", exact=True, solver_calls=calls,
+        estimate=count, status=Status.OK, exact=True, solver_calls=calls,
         sat_answers=count, time_seconds=time.monotonic() - start)

@@ -31,6 +31,7 @@ from repro.core.search import find_boundary
 from repro.core.slicing import total_bits
 from repro.errors import CounterError, ResourceBudgetError, SolverTimeoutError
 from repro.smt.solver import SmtSolver
+from repro.status import Status
 from repro.smt.terms import Term
 from repro.utils.deadline import Deadline
 from repro.utils.rng import SeedSequence
@@ -136,7 +137,7 @@ def pact_count(assertions: list[Term], projection: list[Term],
     calls = CallCounter()
     estimates: list[int] = []
 
-    def finish(estimate, status="ok", exact=False):
+    def finish(estimate, status=Status.OK, exact=False):
         return CountResult(
             estimate=estimate, status=status, exact=exact,
             solver_calls=calls.solver_calls, sat_answers=calls.sat_answers,
@@ -173,9 +174,9 @@ def pact_count(assertions: list[Term], projection: list[Term],
 
         return finish(median(estimates))
     except SolverTimeoutError:
-        return finish(None, status="timeout")
+        return finish(None, status=Status.TIMEOUT)
     except ResourceBudgetError:
-        return finish(None, status="budget")
+        return finish(None, status=Status.BUDGET)
 
 
 def _fix_last_hash(solver, projection, flat_bits, get_hash, boundary,

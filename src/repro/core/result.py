@@ -4,18 +4,21 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.status import Status
+
 
 @dataclass
 class CountResult:
     """Outcome of a counting run.
 
-    ``status`` is "ok" (estimate valid), "timeout" or "error".
+    ``status`` is a :class:`repro.status.Status` (legacy string literals
+    are coerced, and compare equal, so ``status == "ok"`` still works).
     ``exact`` marks counts known exactly (the enum counter, or pact's
     short-circuit when the whole space fits under thresh).
     """
 
     estimate: int | None
-    status: str = "ok"
+    status: Status = Status.OK
     exact: bool = False
     solver_calls: int = 0
     sat_answers: int = 0
@@ -25,9 +28,12 @@ class CountResult:
     detail: str = ""
     estimates: list[int] = field(default_factory=list)
 
+    def __post_init__(self):
+        self.status = Status.coerce(self.status)
+
     @property
     def solved(self) -> bool:
-        return self.status == "ok" and self.estimate is not None
+        return self.status is Status.OK and self.estimate is not None
 
     def __repr__(self) -> str:
         if self.solved:

@@ -1,12 +1,12 @@
 """The persistent result cache: JSON on disk, keyed by formula fingerprint.
 
-A *fingerprint* canonically identifies a counting problem: the SHA-256 of
-the printed assertions, the projection variables (name and sort, in
-order), and the counting parameters (hash family, epsilon, delta, seed,
-timeout, iteration override, configuration name — anything that changes
-the answer or the budget).  Two structurally identical formulas built in
-different processes print identically, so fingerprints are stable across
-runs and machines.
+A *fingerprint* canonically identifies a counting problem; the algorithm
+lives with the problem object (:func:`repro.api.problem.fingerprint_terms`
+— the cache stores results, it does not know which counter parameters
+matter).  :func:`formula_fingerprint` stays as a delegating alias for the
+engine-level callers.  Fingerprints are stable across runs and machines:
+two structurally identical formulas built in different processes print
+identically.
 
 On disk the cache is a single JSON document::
 
@@ -35,22 +35,23 @@ import time
 from pathlib import Path
 from typing import Mapping
 
-from repro.smt.printer import print_term
-
 CACHE_VERSION = 1
 DEFAULT_FILENAME = "pact-cache.json"
 
 
 def formula_fingerprint(assertions, projection,
                         params: Mapping | None = None) -> str:
-    """Canonical fingerprint of (formula, projection, parameters)."""
-    pieces = [f"pact-cache-v{CACHE_VERSION}"]
-    pieces.extend(print_term(assertion) for assertion in assertions)
-    pieces.append("|projection|")
-    pieces.extend(f"{var.name}:{var.sort!r}" for var in projection)
-    if params:
-        pieces.append(json.dumps(dict(params), sort_keys=True, default=str))
-    return hashlib.sha256("\n".join(pieces).encode()).hexdigest()
+    """Canonical fingerprint of (formula, projection, parameters).
+
+    Delegates to :func:`repro.api.problem.fingerprint_terms` (imported
+    lazily — the API layer sits above the engine).  The hash is
+    byte-identical for identical ``params``, so matrix (``pact run``)
+    caches written before the API layer existed still hit; ``pact
+    count``'s per-command keys changed once (its params now name the
+    canonical counter), so only that command re-solves old entries.
+    """
+    from repro.api.problem import fingerprint_terms
+    return fingerprint_terms(assertions, projection, params)
 
 
 def script_fingerprint(script: str, params: Mapping | None = None) -> str:

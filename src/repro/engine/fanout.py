@@ -23,9 +23,11 @@ import time
 from dataclasses import dataclass
 
 from repro.engine.pool import Task
+from repro.status import Status
 
 __all__ = ["IterationSpec", "fan_out_iterations", "iteration_tasks",
-           "make_spec", "run_iteration"]
+           "make_spec", "parse_cached", "preseed_parse_memo",
+           "run_iteration"]
 
 
 @dataclass(frozen=True)
@@ -64,14 +66,25 @@ def _parsed(script: str) -> tuple[list, list]:
     return cached
 
 
+def parse_cached(script: str) -> tuple[list, list]:
+    """(assertions, projection) of ``script``, memoised per process."""
+    return _parsed(script)
+
+
+def preseed_parse_memo(script: str, assertions, projection) -> None:
+    """Seed the per-process memo with already-built terms so in-process
+    (and forked) workers never re-parse ``script``."""
+    _parse_memo.setdefault(_digest(script),
+                           (list(assertions), list(projection)))
+
+
 def make_spec(algorithm: str, assertions, projection, *, epsilon: float,
               delta: float, family: str, seed: int) -> IterationSpec:
     """Build a spec from in-memory terms, pre-seeding the parse memo so
     in-process workers reuse the original term objects."""
     from repro.smt.printer import write_script
     script = write_script(list(assertions), projection=list(projection))
-    _parse_memo.setdefault(_digest(script),
-                           (list(assertions), list(projection)))
+    preseed_parse_memo(script, assertions, projection)
     return IterationSpec(algorithm=algorithm, script=script,
                          epsilon=epsilon, delta=delta, family=family,
                          seed=seed)
@@ -118,8 +131,10 @@ def fan_out_iterations(pool, algorithm: str, assertions, projection, *,
             estimates.append(result.value["estimate"])
             calls.solver_calls += result.value["solver_calls"]
             calls.sat_answers += result.value["sat_answers"]
-        elif result.status in ("timeout", "budget", "cancelled"):
-            status = status or ("timeout" if result.status == "cancelled"
+        elif result.status in (Status.TIMEOUT, Status.BUDGET,
+                               Status.CANCELLED):
+            status = status or (Status.TIMEOUT
+                                if result.status is Status.CANCELLED
                                 else result.status)
         else:
             raise result.error

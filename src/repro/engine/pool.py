@@ -38,6 +38,7 @@ from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from repro.errors import ResourceBudgetError, SolverTimeoutError
+from repro.status import Status
 
 BACKENDS = ("serial", "thread", "process")
 
@@ -67,8 +68,9 @@ class Task:
 class TaskResult:
     """Outcome of one task.
 
-    ``status`` is "ok", "timeout", "budget", "error" or "cancelled";
-    ``error`` holds the raised exception when status is not "ok";
+    ``status`` is a :class:`repro.status.Status` (OK, TIMEOUT, BUDGET,
+    ERROR or CANCELLED; legacy strings are coerced and compare equal);
+    ``error`` holds the raised exception when status is not OK;
     ``worker`` identifies the executing slot ("serial", "thread-N",
     "pid-N") for the per-worker timing report.
     """
@@ -76,13 +78,16 @@ class TaskResult:
     key: object
     value: object = None
     error: BaseException | None = None
-    status: str = "ok"
+    status: Status = Status.OK
     time_seconds: float = 0.0
     worker: str = "serial"
 
+    def __post_init__(self):
+        self.status = Status.coerce(self.status)
+
     @property
     def ok(self) -> bool:
-        return self.status == "ok"
+        return self.status is Status.OK
 
 
 def _worker_tag(backend: str) -> str:
@@ -95,12 +100,12 @@ def _worker_tag(backend: str) -> str:
     return "serial"
 
 
-def _classify(error: BaseException) -> str:
+def _classify(error: BaseException) -> Status:
     if isinstance(error, SolverTimeoutError):
-        return "timeout"
+        return Status.TIMEOUT
     if isinstance(error, ResourceBudgetError):
-        return "budget"
-    return "error"
+        return Status.BUDGET
+    return Status.ERROR
 
 
 def _invoke(fn: Callable, args: tuple, budget: float | None,
@@ -179,7 +184,7 @@ class ExecutionPool:
         error = outcome["error"]
         result = TaskResult(
             key=task.key, value=outcome["value"], error=error,
-            status="ok" if error is None else _classify(error),
+            status=Status.OK if error is None else _classify(error),
             time_seconds=outcome["time"], worker=outcome["worker"])
         slot = self.worker_times.setdefault(result.worker, [0, 0.0])
         slot[0] += 1
@@ -231,7 +236,7 @@ class ExecutionPool:
                 for future, index in futures.items():
                     if future.cancel() or results[index] is None:
                         results[index] = TaskResult(
-                            key=tasks[index].key, status="cancelled",
+                            key=tasks[index].key, status=Status.CANCELLED,
                             worker=self.backend)
                 executor.shutdown(wait=False, cancel_futures=True)
                 raise

@@ -19,10 +19,11 @@ from dataclasses import dataclass, field
 
 from repro.benchgen.spec import Instance
 from repro.engine.cache import ResultCache, formula_fingerprint
-from repro.engine.fanout import _parsed, _parse_memo, _digest
+from repro.engine.fanout import parse_cached, preseed_parse_memo
 from repro.engine.pool import ExecutionPool, Task, TaskResult
 from repro.harness.presets import Preset
 from repro.harness.runner import CONFIGURATIONS, RunRecord
+from repro.status import Status
 
 __all__ = ["SlotSpec", "MatrixRun", "schedule_matrix", "slot_fingerprint"]
 
@@ -79,7 +80,7 @@ def _run_slot(spec: SlotSpec, budget: float | None = None) -> RunRecord:
     """
     from repro.harness.runner import run_configuration
 
-    assertions, projection = _parsed(spec.script)
+    assertions, projection = parse_cached(spec.script)
     instance = Instance(
         name=spec.name, logic=spec.logic, cluster=spec.cluster,
         assertions=assertions, projection=projection,
@@ -90,20 +91,24 @@ def _run_slot(spec: SlotSpec, budget: float | None = None) -> RunRecord:
 
 def _cached_record(entry: dict, configuration: str,
                    instance: Instance) -> RunRecord:
+    status = Status.coerce(entry.get("status", "error"))
     return RunRecord(
         configuration=configuration, instance=instance.name,
-        logic=instance.logic, solved=entry["status"] == "ok",
+        logic=instance.logic, solved=status is Status.OK,
         estimate=entry.get("estimate"),
         known_count=instance.known_count,
         time_seconds=entry.get("time_seconds", 0.0),
         solver_calls=entry.get("solver_calls", 0),
-        status=entry["status"], cached=True, worker="cache")
+        status=status, exact=bool(entry.get("exact", False)),
+        cached=True, worker="cache")
 
 
 def _cache_payload(record: RunRecord) -> dict:
-    return {"estimate": record.estimate, "status": record.status,
-            "time_seconds": record.time_seconds,
-            "solver_calls": record.solver_calls}
+    from repro.api.request import result_payload
+    return result_payload(record.estimate, record.status,
+                          exact=record.exact,
+                          time_seconds=record.time_seconds,
+                          solver_calls=record.solver_calls)
 
 
 def schedule_matrix(instances: list[Instance], preset: Preset,
@@ -143,9 +148,8 @@ def schedule_matrix(instances: list[Instance], preset: Preset,
         script = instance.to_smtlib()
         # Pre-seed the parse memo: in-process (and forked) workers reuse
         # the original term objects instead of re-parsing.
-        _parse_memo.setdefault(
-            _digest(script),
-            (list(instance.assertions), list(instance.projection)))
+        preseed_parse_memo(script, instance.assertions,
+                           instance.projection)
         spec = SlotSpec(
             configuration=configuration, name=instance.name,
             logic=instance.logic, cluster=instance.cluster,
@@ -162,7 +166,8 @@ def schedule_matrix(instances: list[Instance], preset: Preset,
             record = result.value
             record.worker = result.worker
         else:
-            status = ("timeout" if result.status in ("timeout", "budget")
+            status = (Status.TIMEOUT
+                      if result.status in (Status.TIMEOUT, Status.BUDGET)
                       else result.status)
             record = RunRecord(
                 configuration=configuration, instance=instance.name,
@@ -171,7 +176,8 @@ def schedule_matrix(instances: list[Instance], preset: Preset,
                 time_seconds=result.time_seconds,
                 solver_calls=0, status=status, worker=result.worker)
         records[position] = record
-        if cache is not None and record.status in ("ok", "timeout"):
+        if cache is not None and record.status in (Status.OK,
+                                                   Status.TIMEOUT):
             cache.put(fingerprints[position], _cache_payload(record))
         if progress is not None:
             progress(record)

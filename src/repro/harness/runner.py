@@ -1,8 +1,13 @@
-"""Run counters over instance suites.
+"""Run counters over instance suites — a thin client of :mod:`repro.api`.
 
 The four configurations of the evaluation are pact with each hash family
 plus the CDM baseline; each (configuration, instance) pair gets an
 independent wall-clock budget, like the paper's one-core/8GB/3600s slots.
+
+The runner owns no dispatch logic: a configuration name (``pact_xor``,
+``cdm``) is resolved through the :mod:`repro.api.registry` alias table to
+a counter, the instance becomes a :class:`repro.api.Problem`, and the
+preset becomes a :class:`repro.api.CountRequest`.
 
 :func:`run_matrix` delegates to :mod:`repro.engine.scheduler`, which
 dispatches the slots across an :class:`repro.engine.pool.ExecutionPool`
@@ -15,11 +20,15 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
+# Submodule imports, not `from repro.api import ...`: the engine's
+# scheduler imports this module while `repro.api` may still be mid-init.
+from repro.api.problem import Problem
+from repro.api.registry import resolve
+from repro.api.request import CountRequest, CountResponse
 from repro.benchgen.spec import Instance
-from repro.core import PactConfig, cdm_count, pact_count
-from repro.core.result import CountResult
 from repro.errors import ReproError
 from repro.harness.presets import Preset
+from repro.status import Status
 
 CONFIGURATIONS = ("pact_xor", "pact_prime", "pact_shift", "cdm")
 
@@ -41,9 +50,13 @@ class RunRecord:
     known_count: int | None
     time_seconds: float
     solver_calls: int
-    status: str
+    status: Status
+    exact: bool = False
     cached: bool = False
     worker: str = ""
+
+    def __post_init__(self):
+        self.status = Status.coerce(self.status)
 
     @property
     def relative_error(self) -> float | None:
@@ -55,40 +68,42 @@ class RunRecord:
         return relative_error(self.known_count, self.estimate)
 
 
+def preset_request(configuration: str, preset: Preset) -> CountRequest:
+    """The :class:`CountRequest` a preset implies for a configuration."""
+    return CountRequest(
+        counter=configuration, epsilon=preset.epsilon, delta=preset.delta,
+        seed=preset.base_seed, timeout=preset.timeout,
+        iteration_override=preset.iteration_override)
+
+
+def record_of(response: CountResponse, configuration: str,
+              instance: Instance) -> RunRecord:
+    """Adapt an API response to the harness's record shape."""
+    return RunRecord(
+        configuration=configuration, instance=instance.name,
+        logic=instance.logic, solved=response.solved,
+        estimate=response.estimate, known_count=instance.known_count,
+        time_seconds=response.time_seconds,
+        solver_calls=response.solver_calls, status=response.status,
+        exact=response.exact, cached=response.cached,
+        worker=response.worker)
+
+
 def run_configuration(configuration: str, instance: Instance,
                       preset: Preset) -> RunRecord:
     """Run one counter configuration on one instance."""
     start = time.monotonic()
+    problem = Problem.from_instance(instance)
     try:
-        result = _dispatch(configuration, instance, preset)
+        counter = resolve(configuration)
+        response = counter.count(problem,
+                                 preset_request(configuration, preset))
     except ReproError as error:
-        result = CountResult(estimate=None, status="error",
-                             detail=str(error),
-                             time_seconds=time.monotonic() - start)
-    return RunRecord(
-        configuration=configuration, instance=instance.name,
-        logic=instance.logic, solved=result.solved,
-        estimate=result.estimate, known_count=instance.known_count,
-        time_seconds=result.time_seconds,
-        solver_calls=result.solver_calls, status=result.status)
-
-
-def _dispatch(configuration: str, instance: Instance,
-              preset: Preset) -> CountResult:
-    if configuration == "cdm":
-        return cdm_count(
-            instance.assertions, instance.projection,
-            epsilon=preset.epsilon, delta=preset.delta,
-            seed=preset.base_seed, timeout=preset.timeout,
-            iteration_override=preset.iteration_override)
-    if not configuration.startswith("pact_"):
-        raise ValueError(f"unknown configuration {configuration!r}")
-    family = configuration.split("_", 1)[1]
-    config = PactConfig(
-        epsilon=preset.epsilon, delta=preset.delta, family=family,
-        seed=preset.base_seed, timeout=preset.timeout,
-        iteration_override=preset.iteration_override)
-    return pact_count(instance.assertions, instance.projection, config)
+        response = CountResponse(
+            estimate=None, status=Status.ERROR, counter=configuration,
+            problem=instance.name, detail=str(error),
+            time_seconds=time.monotonic() - start)
+    return record_of(response, configuration, instance)
 
 
 def run_matrix(instances: list[Instance], preset: Preset,

@@ -13,7 +13,7 @@ Paper reference (3,119 SMT-Lib instances, 3600 s timeout):
 
 The reproduction target is the *shape*: pact_xor dominates every logic,
 CDM and the word-level families trail far behind (see DESIGN.md
-section 3).
+section 4).
 """
 
 from __future__ import annotations

@@ -48,3 +48,28 @@ class Deadline:
         if self._limit is None:
             return "Deadline(unlimited)"
         return f"Deadline(remaining={self.remaining():.3f}s)"
+
+
+class CooperativeDeadline(Deadline):
+    """A deadline that also expires when a shared cancel token is set.
+
+    The portfolio runner hands every racing counter one of these with a
+    shared :class:`threading.Event`: when the first counter solves, the
+    event is set and the losers' next ``check()`` raises — cancellation
+    stays cooperative, exactly like the wall-clock budget (nothing in
+    this codebase preempts a worker).
+    """
+
+    __slots__ = ("_token",)
+
+    def __init__(self, seconds: float | None, token):
+        super().__init__(seconds)
+        self._token = token
+
+    def expired(self) -> bool:
+        return self._token.is_set() or super().expired()
+
+    def remaining(self) -> float:
+        if self._token.is_set():
+            return 0.0
+        return super().remaining()

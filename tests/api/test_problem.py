@@ -1,0 +1,107 @@
+"""Problem: construction fronts, serialisation, fingerprint ownership."""
+
+import pytest
+
+from repro.api import Problem
+from repro.benchgen.generators import qf_bvfp
+from repro.engine.cache import formula_fingerprint
+from repro.errors import CounterError, ReproError
+from repro.smt.parser import parse_script
+from repro.smt.terms import bv_ult, bv_val, bv_var
+
+SCRIPT = """
+(set-logic QF_BV)
+(declare-fun p () (_ BitVec 6))
+(declare-fun q () (_ BitVec 4))
+(set-info :projected-vars (p))
+(assert (bvult p #b010100))
+"""
+
+
+def _terms(name="pb_x"):
+    x = bv_var(name, 8)
+    return [bv_ult(x, bv_val(100, 8))], [x]
+
+
+class TestConstruction:
+    def test_from_terms(self):
+        assertions, projection = _terms()
+        problem = Problem.from_terms(assertions, projection, name="toy")
+        assert problem.name == "toy"
+        assert problem.assertions == tuple(assertions)
+        assert problem.projection == tuple(projection)
+
+    def test_from_terms_single_assertion(self):
+        assertions, projection = _terms("pb_single")
+        problem = Problem.from_terms(assertions[0], projection)
+        assert len(problem.assertions) == 1
+
+    def test_from_terms_requires_projection(self):
+        assertions, _ = _terms("pb_noproj")
+        with pytest.raises(CounterError):
+            Problem.from_terms(assertions, [])
+
+    def test_from_script(self):
+        problem = Problem.from_script(SCRIPT, name="s")
+        assert problem.logic == "QF_BV"
+        assert [v.name for v in problem.projection] == ["p"]
+
+    def test_from_script_project_override(self):
+        problem = Problem.from_script(SCRIPT, project=["q"])
+        assert [v.name for v in problem.projection] == ["q"]
+
+    def test_from_script_undeclared_projection(self):
+        with pytest.raises(ReproError):
+            Problem.from_script(SCRIPT, project=["nope"])
+
+    def test_from_script_missing_projection(self):
+        with pytest.raises(ReproError):
+            Problem.from_script("(assert true)")
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "toy.smt2"
+        path.write_text(SCRIPT)
+        problem = Problem.from_file(path)
+        assert problem.name == "toy"
+        assert problem.projection_bits() == 6
+
+    def test_from_instance(self):
+        instance = qf_bvfp(seed=1, width=8)
+        problem = Problem.from_instance(instance)
+        assert problem.name == instance.name
+        assert problem.logic == instance.logic
+        assert problem.to_script() == instance.to_smtlib()
+
+
+class TestSerialisation:
+    def test_script_round_trips(self):
+        assertions, projection = _terms("pb_round")
+        problem = Problem.from_terms(assertions, projection)
+        parsed = parse_script(problem.to_script())
+        assert parsed.assertions == list(problem.assertions)
+        assert parsed.projection == list(problem.projection)
+
+    def test_script_is_deterministic(self):
+        assertions, projection = _terms("pb_det")
+        one = Problem.from_terms(assertions, projection)
+        two = Problem.from_terms(assertions, projection)
+        assert one.to_script() == two.to_script()
+
+
+class TestFingerprint:
+    def test_matches_engine_fingerprint(self):
+        """The engine delegates here; old cache keys must be unchanged."""
+        assertions, projection = _terms("pb_fp")
+        problem = Problem.from_terms(assertions, projection)
+        params = {"configuration": "pact_xor", "epsilon": 0.8}
+        assert (problem.fingerprint(params)
+                == formula_fingerprint(assertions, projection, params))
+
+    def test_sensitive_to_formula_and_params(self):
+        a1, p1 = _terms("pb_s1")
+        problem = Problem.from_terms(a1, p1)
+        other = Problem.from_terms(
+            [bv_ult(p1[0], bv_val(99, 8))], p1)
+        assert problem.fingerprint() != other.fingerprint()
+        assert (problem.fingerprint({"seed": 1})
+                != problem.fingerprint({"seed": 2}))

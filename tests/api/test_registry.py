@@ -1,0 +1,111 @@
+"""The counter registry: resolution, aliases, errors, the protocol."""
+
+import pytest
+
+from repro.api import (
+    CountRequest, Counter, Problem, available_counters, canonical_name,
+    register, resolve,
+)
+from repro.api.registry import _ALIASES, _COUNTERS
+from repro.errors import CounterError
+from repro.smt.terms import bv_ult, bv_val, bv_var
+from repro.status import Status
+
+
+def _problem(name="rg_x", width=8, bound=100):
+    x = bv_var(name, width)
+    return Problem.from_terms([bv_ult(x, bv_val(bound, width))], [x],
+                              name=name)
+
+
+class TestResolution:
+    def test_canonical_names(self):
+        assert available_counters() == ("cdm", "enum", "pact:prime",
+                                        "pact:shift", "pact:xor")
+
+    def test_legacy_configuration_aliases(self):
+        """harness/runner configuration names resolve unchanged."""
+        for configuration, canonical in (
+                ("pact_xor", "pact:xor"), ("pact_prime", "pact:prime"),
+                ("pact_shift", "pact:shift"), ("cdm", "cdm")):
+            assert canonical_name(configuration) == canonical
+            assert resolve(configuration).name == canonical
+
+    def test_cli_family_aliases(self):
+        assert canonical_name("xor") == "pact:xor"
+        assert canonical_name("shift") == "pact:shift"
+        assert canonical_name("exact") == "enum"
+
+    def test_case_and_whitespace_insensitive(self):
+        assert canonical_name(" PACT:XOR ") == "pact:xor"
+
+    def test_unknown_counter_lists_available(self):
+        with pytest.raises(CounterError) as excinfo:
+            resolve("pact_md5")
+        message = str(excinfo.value)
+        assert "pact_md5" in message
+        assert "pact:xor" in message and "cdm" in message
+
+    def test_registered_objects_satisfy_protocol(self):
+        for counter in _COUNTERS.values():
+            assert isinstance(counter, Counter)
+            assert canonical_name(counter.name) == counter.name
+
+    def test_register_custom_counter(self):
+        class FortyTwo:
+            name = "always:42"
+
+            def count(self, problem, request, *, pool=None,
+                      deadline=None):
+                from repro.api import CountResponse
+                return CountResponse(estimate=42, counter=self.name,
+                                     problem=problem.name)
+
+        register(FortyTwo(), aliases=("fortytwo",))
+        try:
+            assert resolve("fortytwo").count(
+                _problem("rg_custom"), CountRequest()).estimate == 42
+        finally:
+            _COUNTERS.pop("always:42")
+            _ALIASES.pop("fortytwo")
+
+
+class TestCounterBehaviour:
+    def test_pact_counter_matches_legacy_call(self):
+        from repro import count_projected
+        problem = _problem("rg_pact", bound=200)
+        request = CountRequest(counter="pact:xor", seed=5,
+                               iteration_override=3)
+        response = resolve("pact:xor").count(problem, request)
+        legacy = count_projected(list(problem.assertions),
+                                 list(problem.projection), seed=5,
+                                 iteration_override=3, family="xor")
+        assert response.estimate == legacy.estimate
+        assert response.estimates == legacy.estimates
+        assert response.counter == "pact:xor"
+        assert response.problem == "rg_pact"
+
+    def test_enum_counter_reports_limit(self):
+        response = resolve("enum").count(
+            _problem("rg_enum"), CountRequest(counter="enum", limit=3))
+        assert not response.solved
+        assert response.status is Status.LIMIT
+
+    def test_cdm_counter_solves(self):
+        problem = _problem("rg_cdm", width=6, bound=40)
+        response = resolve("cdm").count(
+            problem, CountRequest(counter="cdm", iteration_override=2))
+        assert response.solved
+        assert response.counter == "cdm"
+
+    @pytest.mark.parametrize("name", ["pact:xor", "cdm", "enum"])
+    def test_external_deadline_reaches_every_counter(self, name):
+        """The portfolio's shared (cancellable) deadline is honoured by
+        all counters, not just pact."""
+        from repro.utils.deadline import Deadline
+        tag = name.replace(":", "_")
+        response = resolve(name).count(
+            _problem(f"rg_dl_{tag}", bound=200),
+            CountRequest(counter=name, iteration_override=2),
+            deadline=Deadline(0))
+        assert response.status is Status.TIMEOUT

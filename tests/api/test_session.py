@@ -1,0 +1,198 @@
+"""Session: the three verbs, cache observation, backend determinism."""
+
+import json
+
+import pytest
+
+from repro.api import CountRequest, Problem, Session
+from repro.engine.cache import ResultCache
+from repro.smt.terms import bv_ult, bv_val, bv_var
+from repro.status import Status
+
+SEED = 11
+
+
+def _problem(name, width=8, bound=200):
+    x = bv_var(name, width)
+    return Problem.from_terms([bv_ult(x, bv_val(bound, width))], [x],
+                              name=name)
+
+
+def _request(**overrides):
+    defaults = dict(counter="pact:xor", seed=SEED, iteration_override=3)
+    defaults.update(overrides)
+    return CountRequest(**defaults)
+
+
+class TestCount:
+    def test_count_matches_legacy(self):
+        from repro import count_projected
+        problem = _problem("ss_count")
+        response = Session().count(problem, _request())
+        legacy = count_projected(list(problem.assertions),
+                                 list(problem.projection), seed=SEED,
+                                 iteration_override=3, family="xor")
+        assert response.estimate == legacy.estimate
+        assert response.estimates == legacy.estimates
+
+    def test_overrides_apply(self):
+        response = Session().count(_problem("ss_override"), _request(),
+                                   counter="enum")
+        assert response.counter == "enum"
+        assert response.exact
+
+    def test_unknown_counter_raises_before_running(self):
+        from repro.errors import CounterError
+        with pytest.raises(CounterError) as excinfo:
+            Session().count(_problem("ss_bad"), _request(),
+                            counter="pact:md5")
+        assert "pact:md5" in str(excinfo.value)
+
+    def test_counter_failure_becomes_response(self):
+        """Failures *inside* a counter surface as error responses."""
+        x = bv_var("ss_bool", 1)
+        from repro.smt.terms import bool_var
+        problem = Problem(assertions=(bv_ult(x, bv_val(1, 1)),),
+                          projection=(bool_var("ss_not_bv"),),
+                          name="ss_badproj")
+        response = Session().count(problem, _request())
+        assert response.status is Status.ERROR
+        assert "bit-vector" in response.detail
+
+    def test_progress_events(self):
+        events = []
+        Session().count(_problem("ss_events"), _request(),
+                        progress=events.append)
+        assert [event.kind for event in events] == ["completed"]
+        assert events[0].counter == "pact:xor"
+
+
+class TestCache:
+    def test_hit_observed_through_response(self, tmp_path):
+        problem = _problem("ss_cache")
+        with Session(cache_dir=tmp_path) as session:
+            first = session.count(problem, _request())
+            second = session.count(problem, _request())
+        assert not first.cached
+        assert second.cached
+        assert second.worker == "cache"
+        assert second.estimate == first.estimate
+        assert session.cache.stats["hits"] == 1
+
+    def test_hit_survives_new_session(self, tmp_path):
+        problem = _problem("ss_cache2")
+        with Session(cache_dir=tmp_path) as session:
+            session.count(problem, _request())
+        with Session(cache_dir=tmp_path) as session:
+            again = session.count(problem, _request())
+        assert again.cached
+
+    def test_different_counter_misses(self, tmp_path):
+        problem = _problem("ss_cache3")
+        with Session(cache_dir=tmp_path) as session:
+            session.count(problem, _request())
+            other = session.count(problem, _request(counter="pact:prime"))
+        assert not other.cached
+
+    def test_old_format_cache_entry_loads(self, tmp_path):
+        """Entries written before the API layer (plain string status, no
+        counter/iterations keys) still serve hits."""
+        problem = _problem("ss_legacy")
+        request = _request()
+        fingerprint = problem.fingerprint(
+            request.cache_params("pact:xor"))
+        (tmp_path / "pact-cache.json").write_text(json.dumps({
+            "version": 1,
+            "entries": {fingerprint: {
+                "estimate": 137, "status": "ok",
+                "time_seconds": 1.5, "solver_calls": 12}},
+        }))
+        response = Session(cache_dir=tmp_path).count(problem, request)
+        assert response.cached
+        assert response.estimate == 137
+        assert response.status is Status.OK
+
+    def test_cache_file_status_is_plain_string(self, tmp_path):
+        """New entries keep the old on-disk vocabulary."""
+        with Session(cache_dir=tmp_path) as session:
+            session.count(_problem("ss_disk"), _request())
+        document = json.loads(
+            (ResultCache(tmp_path).path).read_text())
+        statuses = [entry["status"]
+                    for entry in document["entries"].values()]
+        assert statuses == ["ok"]
+
+
+class TestBatch:
+    def _problems(self, tag):
+        return [_problem(f"ss_{tag}_{i}", bound=150 + 13 * i)
+                for i in range(4)]
+
+    @pytest.mark.parametrize("backend,jobs", [
+        ("serial", 1), ("thread", 2), ("process", 2)])
+    def test_batch_deterministic_across_backends(self, backend, jobs):
+        problems = self._problems("batch")
+        serial = Session().count_batch(problems, _request())
+        parallel = Session(jobs=jobs, backend=backend).count_batch(
+            problems, _request())
+        assert [r.problem for r in parallel] == [p.name for p in problems]
+        assert ([r.estimate for r in parallel]
+                == [r.estimate for r in serial])
+        assert ([r.estimates for r in parallel]
+                == [r.estimates for r in serial])
+
+    def test_batch_uses_cache(self, tmp_path):
+        problems = self._problems("bcache")
+        with Session(cache_dir=tmp_path) as session:
+            first = session.count_batch(problems, _request())
+            second = session.count_batch(problems, _request())
+        assert not any(r.cached for r in first)
+        assert all(r.cached for r in second)
+        assert ([r.estimate for r in second]
+                == [r.estimate for r in first])
+
+
+class TestPortfolio:
+    COUNTERS = ("pact:xor", "pact:prime", "cdm")
+
+    def test_winner_deterministic_under_fixed_seed(self):
+        problem = _problem("ss_port")
+        runs = [Session().portfolio(problem, self.COUNTERS,
+                                    _request(counter="pact:xor"))
+                for _ in range(2)]
+        assert runs[0].winner == runs[1].winner == "pact:xor"
+        assert (runs[0].response.estimate == runs[1].response.estimate)
+        assert ([e.status for e in runs[0].entries]
+                == [e.status for e in runs[1].entries])
+
+    def test_losers_cancelled_cooperatively(self):
+        outcome = Session().portfolio(_problem("ss_port2"),
+                                      self.COUNTERS, _request())
+        assert outcome.entries[0].solved
+        assert all(entry.status is Status.CANCELLED
+                   for entry in outcome.entries[1:])
+
+    def test_first_successful_counter_wins(self):
+        """A failing first counter passes the baton down the list."""
+        outcome = Session().portfolio(
+            _problem("ss_port3"), ("enum", "pact:xor"),
+            _request(counter="enum", limit=3))
+        assert outcome.entries[0].status is Status.LIMIT
+        assert outcome.winner == "pact:xor"
+        assert outcome.response.solved
+
+    def test_report_includes_per_counter_timing(self):
+        outcome = Session().portfolio(_problem("ss_port4"),
+                                      self.COUNTERS, _request())
+        report = outcome.report()
+        for name in self.COUNTERS:
+            assert name in report
+        assert "winner=pact:xor" in report
+        assert "s" in report  # timing column
+
+    def test_parallel_portfolio_solves(self):
+        outcome = Session(jobs=2, backend="thread").portfolio(
+            _problem("ss_port5"), self.COUNTERS, _request())
+        assert outcome.solved
+        assert len(outcome.entries) == len(self.COUNTERS)
+        assert outcome.response.estimate is not None

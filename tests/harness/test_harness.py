@@ -56,10 +56,13 @@ class TestRunner:
         assert not record.solved
         assert record.status == "error"
 
-    def test_unknown_configuration_raises(self):
+    def test_unknown_configuration_reported_as_error(self):
+        """Dispatch goes through the repro.api registry: any unresolvable
+        configuration becomes an error record, not a crash."""
         instance = qf_bvfp(seed=1, width=9)
-        with pytest.raises(ValueError):
-            run_configuration("minisat", instance, Preset.smoke())
+        record = run_configuration("minisat", instance, Preset.smoke())
+        assert not record.solved
+        assert record.status == "error"
 
     def test_run_matrix_shape(self):
         instance = qf_bvfp(seed=2, width=9)

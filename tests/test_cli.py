@@ -73,6 +73,41 @@ class TestEngineFlags:
         assert "cache hit" not in capsys.readouterr().out
 
 
+class TestPortfolio:
+    def test_portfolio_first_counter_wins(self, smt_file, capsys):
+        code = main(["portfolio", str(smt_file), "--counters",
+                     "pact:xor,pact:prime,cdm", "--seed", "3"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "c winner pact:xor" in output
+        assert "pact:prime" in output and "cdm" in output
+        assert "cancelled" in output
+
+    def test_portfolio_deterministic_under_fixed_seed(self, smt_file,
+                                                      capsys):
+        main(["portfolio", str(smt_file), "--counters",
+              "pact:xor,pact:prime,cdm", "--seed", "3"])
+        first = capsys.readouterr().out
+        main(["portfolio", str(smt_file), "--counters",
+              "pact:xor,pact:prime,cdm", "--seed", "3"])
+        second = capsys.readouterr().out
+        # Identical winner and estimates; only timings may differ.
+        def _stable(text):
+            return [line.split("s  ")[-1] for line in text.splitlines()]
+        assert first.splitlines()[0] == second.splitlines()[0]
+        assert _stable(first) == _stable(second)
+
+    def test_portfolio_legacy_aliases_accepted(self, smt_file, capsys):
+        assert main(["portfolio", str(smt_file), "--counters",
+                     "pact_xor,cdm"]) == 0
+        assert "c winner pact:xor" in capsys.readouterr().out
+
+    def test_portfolio_unknown_counter_fails(self, smt_file, capsys):
+        assert main(["portfolio", str(smt_file), "--counters",
+                     "pact:md5"]) == 2
+        assert "unknown counter" in capsys.readouterr().err
+
+
 class TestGenerate:
     def test_generate_writes_files(self, tmp_path, capsys):
         out = tmp_path / "bench"
