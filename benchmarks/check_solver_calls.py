@@ -1,0 +1,71 @@
+"""CI regression smoke: solver_calls must not creep up.
+
+Runs one small, fully deterministic pact instance per hash family
+(fixed seed, fixed iteration count; cell counts are exact and every
+random draw is a pure function of the seed tree, so ``solver_calls`` is
+reproducible across machines and Python versions) and fails if any
+family exceeds its recorded baseline in
+``bench_results/solver_calls_baseline.json``.
+
+Regenerate the baseline after an intentional search/schedule change:
+
+    PYTHONPATH=src python benchmarks/check_solver_calls.py --update
+"""
+
+import json
+import pathlib
+import sys
+
+from repro.core import PactConfig, pact_count
+from repro.smt import bv_ult, bv_val, bv_var
+
+BASELINE_PATH = (pathlib.Path(__file__).resolve().parent.parent
+                 / "bench_results" / "solver_calls_baseline.json")
+WIDTH = 10
+SEED = 9
+ITERATIONS = 3
+FAMILIES = ("xor", "prime", "shift")
+
+
+def measure() -> dict:
+    results = {}
+    for family in FAMILIES:
+        x = bv_var(f"ci_{family}", WIDTH)
+        bound = (1 << WIDTH) - (1 << (WIDTH - 3))
+        config = PactConfig(family=family, seed=SEED,
+                            iteration_override=ITERATIONS, timeout=300)
+        result = pact_count([bv_ult(x, bv_val(bound, WIDTH))], [x],
+                            config)
+        assert result.solved, f"{family}: smoke instance did not solve"
+        results[family] = {"solver_calls": result.solver_calls,
+                           "estimate": result.estimate}
+    return results
+
+
+def main() -> int:
+    measured = measure()
+    if "--update" in sys.argv:
+        BASELINE_PATH.parent.mkdir(exist_ok=True)
+        BASELINE_PATH.write_text(json.dumps(measured, indent=2) + "\n")
+        print(f"baseline written to {BASELINE_PATH}")
+        return 0
+    baseline = json.loads(BASELINE_PATH.read_text())
+    failed = False
+    for family in FAMILIES:
+        got = measured[family]
+        want = baseline[family]
+        note = ""
+        if got["estimate"] != want["estimate"]:
+            note = "  ESTIMATE CHANGED (determinism regression!)"
+            failed = True
+        elif got["solver_calls"] > want["solver_calls"]:
+            note = "  REGRESSION (more oracle calls than baseline)"
+            failed = True
+        print(f"{family:6s} solver_calls {got['solver_calls']:5d} "
+              f"(baseline {want['solver_calls']:5d})  "
+              f"estimate {got['estimate']}{note}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

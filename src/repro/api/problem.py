@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from functools import cached_property
 from typing import Mapping
 
+from repro.core.slicing import dedupe_projection
 from repro.errors import CounterError
 from repro.smt.printer import print_term, write_script
 from repro.smt.terms import Term
@@ -57,6 +58,21 @@ def fingerprint_terms(assertions, projection,
     return hashlib.sha256("\n".join(pieces).encode()).hexdigest()
 
 
+def key_incremental_mode(params: dict, incremental: bool) -> dict:
+    """Fold the incremental-solving mode into fingerprint ``params``.
+
+    Estimates are mode-independent, but the solver_calls and timing a
+    result cache stores are not, so baseline-mode results must key
+    differently.  The key is added only when the mode is off: default
+    fingerprints stay byte-identical to every cache written before the
+    knob existed.  Both fingerprint sites (``CountRequest.cache_params``
+    and the matrix scheduler's ``slot_fingerprint``) share this rule.
+    """
+    if not incremental:
+        params["incremental"] = False
+    return params
+
+
 @dataclass(frozen=True)
 class Problem:
     """An immutable projected-counting problem."""
@@ -78,8 +94,11 @@ class Problem:
         if not projection:
             raise CounterError(
                 "no projection set: pass the variables to project onto")
+        # Same guard as pact_count: a duplicated projection variable would
+        # double-count its bits and break pairwise independence.
         return cls(assertions=tuple(assertions),
-                   projection=tuple(projection), name=name, logic=logic)
+                   projection=tuple(dedupe_projection(list(projection))),
+                   name=name, logic=logic)
 
     @classmethod
     def from_script(cls, text: str, name: str = "script",
@@ -102,8 +121,8 @@ class Problem:
                 "no projection set: pass --project or add "
                 "(set-info :projected-vars (...)) to the script")
         return cls(assertions=tuple(script.assertions),
-                   projection=tuple(projection), name=name,
-                   logic=script.logic or "ALL")
+                   projection=tuple(dedupe_projection(list(projection))),
+                   name=name, logic=script.logic or "ALL")
 
     @classmethod
     def from_file(cls, path, project: list[str] | None = None) -> "Problem":

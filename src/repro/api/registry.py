@@ -75,7 +75,8 @@ class PactCounter:
             epsilon=request.epsilon, delta=request.delta,
             family=self.family, seed=request.seed,
             timeout=request.timeout,
-            iteration_override=request.iteration_override)
+            iteration_override=request.iteration_override,
+            incremental=request.incremental)
         result = pact_count(list(problem.assertions),
                             list(problem.projection), config,
                             deadline=deadline, pool=pool)
@@ -96,7 +97,7 @@ class CdmCounter:
             epsilon=request.epsilon, delta=request.delta,
             seed=request.seed, timeout=request.timeout,
             iteration_override=request.iteration_override, pool=pool,
-            deadline=deadline)
+            deadline=deadline, incremental=request.incremental)
         return CountResponse.from_result(result, counter=self.name,
                                          problem=problem.name)
 

@@ -53,7 +53,10 @@ class CountRequest:
     are the PAC guarantee parameters; ``seed`` makes the run
     reproducible; ``timeout`` is the wall-clock budget in seconds;
     ``iteration_override`` replaces Algorithm 3's numIt for scaled-down
-    runs; ``limit`` caps the ``enum`` counter's enumeration.
+    runs; ``limit`` caps the ``enum`` counter's enumeration;
+    ``incremental`` toggles pact's incremental solving layer (hash
+    ladder warm starts + learnt-clause retention — never changes
+    estimates, ``False`` is the A/B baseline mode).
     """
 
     counter: str = "pact:xor"
@@ -63,6 +66,7 @@ class CountRequest:
     timeout: float | None = None
     iteration_override: int | None = None
     limit: int | None = None
+    incremental: bool = True
 
     def __post_init__(self):
         if self.epsilon <= 0:
@@ -79,11 +83,14 @@ class CountRequest:
         """Everything that changes the answer or the budget, as the
         fingerprint parameter mapping (``counter`` overrides the request's
         own name with its canonical registry spelling)."""
-        return {"counter": counter or self.counter,
-                "epsilon": self.epsilon, "delta": self.delta,
-                "seed": self.seed, "timeout": self.timeout,
-                "iterations": self.iteration_override,
-                "limit": self.limit}
+        from repro.api.problem import key_incremental_mode
+        return key_incremental_mode(
+            {"counter": counter or self.counter,
+             "epsilon": self.epsilon, "delta": self.delta,
+             "seed": self.seed, "timeout": self.timeout,
+             "iterations": self.iteration_override,
+             "limit": self.limit},
+            self.incremental)
 
 
 @dataclass(frozen=True)

@@ -58,6 +58,7 @@ class _CountSpec:
     timeout: float | None
     iteration_override: int | None
     limit: int | None
+    incremental: bool = True
 
 
 def _run_spec(spec: _CountSpec, cancel=None,
@@ -77,7 +78,8 @@ def _run_spec(spec: _CountSpec, cancel=None,
         counter=spec.counter, epsilon=spec.epsilon, delta=spec.delta,
         seed=spec.seed,
         timeout=spec.timeout if budget is None else budget,
-        iteration_override=spec.iteration_override, limit=spec.limit)
+        iteration_override=spec.iteration_override, limit=spec.limit,
+        incremental=spec.incremental)
     deadline = (CooperativeDeadline(request.timeout, cancel)
                 if cancel is not None else None)
     counter = resolve(spec.counter)
@@ -353,7 +355,7 @@ class Session:
             delta=request.delta, seed=request.seed,
             timeout=request.timeout,
             iteration_override=request.iteration_override,
-            limit=request.limit)
+            limit=request.limit, incremental=request.incremental)
 
     def _fingerprint(self, problem, request, counter) -> str | None:
         if self.cache is None:

@@ -7,6 +7,9 @@ This package is the paper's primary contribution:
   (H_xor, H_prime, H_shift) with bit-vector slicing;
 * :mod:`repro.core.cells` — SaturatingCounter (section III-B);
 * :mod:`repro.core.search` — NextIndex galloping search (section III-C);
+* :mod:`repro.core.ladder` — the incremental hash ladder (section
+  III-F): one nested solver frame per hash index, so boundary probes
+  re-assert only deltas;
 * :mod:`repro.core.pact` — Algorithm 1 (the main loop) and Algorithm 2
   (FixLastHash);
 * :mod:`repro.core.enumerate` — the exact enumeration counter ``enum``
@@ -28,10 +31,12 @@ from repro.core.cdm import cdm_count
 from repro.core.config import PactConfig
 from repro.core.constants import get_constants
 from repro.core.enumerate import exact_count
+from repro.core.ladder import HashLadder, RebuildLadder
 from repro.core.pact import count_projected, pact_count
 from repro.core.result import CountResult
 
 __all__ = [
-    "CountResult", "PactConfig", "cdm_count", "count_projected",
-    "exact_count", "get_constants", "pact_count",
+    "CountResult", "HashLadder", "PactConfig", "RebuildLadder",
+    "cdm_count", "count_projected", "exact_count", "get_constants",
+    "pact_count",
 ]

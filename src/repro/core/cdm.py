@@ -20,10 +20,13 @@ The q-fold formula size increase is why CDM times out where pact does not
 (Table I / Fig. 1).
 
 Like pact, iterations are independent: every random draw of iteration
-``i`` comes from ``SeedSequence(seed, "cdm").child(f"iteration{i}")`` and
-the boundary search starts at index 1, so the iterations can run serially
-or fan out across an :class:`repro.engine.pool.ExecutionPool` with
-bit-identical estimates.
+``i`` comes from ``SeedSequence(seed, "cdm").child(f"iteration{i}")``, so
+the iterations can run serially or fan out across an
+:class:`repro.engine.pool.ExecutionPool` with bit-identical estimates.
+The boundary search probes through an incremental
+:class:`repro.core.ladder.HashLadder` and may warm-start from the
+previous iteration's boundary — both change only the probe order, never
+the (index-pure) cell counts, so estimates are unaffected.
 """
 
 from __future__ import annotations
@@ -32,9 +35,10 @@ import math
 import time
 
 from repro.core.cells import SATURATED, CallCounter, saturating_count
+from repro.core.ladder import HashLadder, RebuildLadder
 from repro.core.result import CountResult
 from repro.core.search import find_boundary
-from repro.core.slicing import total_bits
+from repro.core.slicing import dedupe_projection, total_bits
 from repro.errors import ResourceBudgetError, SolverTimeoutError
 from repro.smt.model import free_variables
 from repro.smt.parser import substitute
@@ -119,10 +123,15 @@ def _constant_parity(rhs: bool) -> Term:
 def cdm_iteration_estimate(solver: SmtSolver, flat_projection: list[Term],
                            seed: int, copies: int, max_index: int,
                            deadline: Deadline, calls: CallCounter,
-                           iteration_index: int) -> int:
+                           iteration_index: int, warm_start: int = 1,
+                           incremental: bool = True) -> tuple[int, int]:
     """One CDM repetition: hash the composed space down to a small cell,
-    scale back up, take the exact integer q-th root.  Pure given its
-    inputs (all randomness from ``cdm/iteration<i>``, search start 1)."""
+    scale back up, take the exact integer q-th root.  Returns
+    ``(estimate, boundary)``; the estimate is pure given the inputs (all
+    randomness from ``cdm/iteration<i>``; ``warm_start`` only reorders
+    the index-pure probes), the boundary seeds the next repetition's
+    warm start.  ``incremental=False`` rebuilds the hash prefix per
+    probe (the A/B baseline mode)."""
     iteration_seeds = SeedSequence(seed, "cdm").child(
         f"iteration{iteration_index}")
     hash_cache: dict[int, Term] = {}
@@ -136,36 +145,45 @@ def cdm_iteration_estimate(solver: SmtSolver, flat_projection: list[Term],
             hash_cache[index] = term
         return term
 
-    def count_at(index: int):
-        solver.push()
-        try:
-            for j in range(1, index + 1):
-                solver.assert_term(get_hash(j))
-            return saturating_count(solver, flat_projection,
-                                    _PIVOT, deadline, calls)
-        finally:
-            solver.pop()
+    ladder_class = HashLadder if incremental else RebuildLadder
+    ladder = ladder_class(solver,
+                          lambda s, index: s.assert_term(get_hash(index)))
 
-    boundary, cell_count, _ = find_boundary(count_at, 1, max_index)
+    def count_at(index: int):
+        ladder.set_depth(index)
+        return saturating_count(solver, flat_projection,
+                                _PIVOT, deadline, calls)
+
+    try:
+        boundary, cell_count, _ = find_boundary(count_at, warm_start,
+                                                max_index)
+    finally:
+        ladder.close()
     composed_estimate = cell_count * (1 << boundary)
-    return _integer_root(composed_estimate, copies)
+    return _integer_root(composed_estimate, copies), boundary
 
 
 def cdm_count(assertions, projection: list[Term], epsilon: float = 0.8,
               delta: float = 0.2, seed: int = 1,
               timeout: float | None = None,
               iteration_override: int | None = None,
-              pool=None, deadline: Deadline | None = None) -> CountResult:
+              pool=None, deadline: Deadline | None = None,
+              incremental: bool = True) -> CountResult:
     """Approximate projected counting with the CDM construction.
 
     ``pool`` is an optional :class:`repro.engine.pool.ExecutionPool`;
     when parallel, the median repetitions fan out across its workers.
     ``deadline`` optionally replaces the ``timeout``-derived deadline
     with an external (possibly cancellable) one, like ``pact_count``'s.
+    ``incremental`` mirrors :class:`repro.core.config.PactConfig`'s
+    knob: False runs the rebuild-per-probe baseline (never changes
+    estimates).
     """
     if isinstance(assertions, Term):
         assertions = [assertions]
     assertions = list(assertions)
+    # Same guard as pact_count: duplicates double-count projection bits.
+    projection = dedupe_projection(list(projection))
     start = time.monotonic()
     if deadline is None:
         deadline = Deadline(timeout)
@@ -190,6 +208,7 @@ def cdm_count(assertions, projection: list[Term], epsilon: float = 0.8,
         flat_projection = [var for group in projections for var in group]
         solver = SmtSolver()
         solver.assert_all(composed)
+        solver.set_retention(incremental)
         for var in flat_projection:
             solver.ensure_bits(var)
 
@@ -207,14 +226,20 @@ def cdm_count(assertions, projection: list[Term], epsilon: float = 0.8,
                 pool, "cdm", assertions, projection, epsilon=epsilon,
                 delta=delta, family="cdm", seed=seed,
                 num_iterations=iterations, deadline=deadline,
-                calls=calls, estimates=estimates)
+                calls=calls, estimates=estimates,
+                incremental=incremental)
             if status is not None:
                 return finish(None, status=status)
         else:
+            warm_start = 1
             for iteration in range(iterations):
-                estimates.append(cdm_iteration_estimate(
+                estimate, boundary = cdm_iteration_estimate(
                     solver, flat_projection, seed, copies, max_index,
-                    deadline, calls, iteration))
+                    deadline, calls, iteration, warm_start=warm_start,
+                    incremental=incremental)
+                estimates.append(estimate)
+                if incremental:
+                    warm_start = boundary
         return finish(median(estimates))
     except SolverTimeoutError:
         return finish(None, status=Status.TIMEOUT)

@@ -12,6 +12,8 @@ discipline (section III-F).
 
 from __future__ import annotations
 
+import threading
+
 from repro.smt.solver import SmtSolver
 from repro.smt.terms import Term
 from repro.utils.deadline import Deadline
@@ -28,16 +30,41 @@ SATURATED = _Saturated()
 
 
 class CallCounter:
-    """Counts oracle calls for the O(log |S|) measurement (section III-D)."""
+    """Counts oracle calls for the O(log |S|) measurement (section III-D).
+
+    Updates are atomic: one counter may be shared across the thread
+    backend of :mod:`repro.engine.pool` (a bare ``+=`` is a
+    read-modify-write that drops increments under concurrency).  The
+    counter pickles without its lock, so it still crosses process
+    boundaries freely.
+    """
 
     def __init__(self):
         self.solver_calls = 0
         self.sat_answers = 0
+        self._lock = threading.Lock()
 
     def record(self, is_sat: bool) -> None:
-        self.solver_calls += 1
-        if is_sat:
-            self.sat_answers += 1
+        with self._lock:
+            self.solver_calls += 1
+            if is_sat:
+                self.sat_answers += 1
+
+    def merge(self, solver_calls: int, sat_answers: int) -> None:
+        """Fold a worker's per-iteration totals in, atomically (the join
+        step of the fan-out's per-worker counters)."""
+        with self._lock:
+            self.solver_calls += solver_calls
+            self.sat_answers += sat_answers
+
+    def __getstate__(self):
+        return {"solver_calls": self.solver_calls,
+                "sat_answers": self.sat_answers}
+
+    def __setstate__(self, state):
+        self.solver_calls = state["solver_calls"]
+        self.sat_answers = state["sat_answers"]
+        self._lock = threading.Lock()
 
 
 def saturating_count(solver: SmtSolver, projection: list[Term],

@@ -7,14 +7,24 @@ and takes the median over numIt iterations for the (epsilon, delta)
 guarantee.
 
 Iterations are independent by construction: iteration ``i`` draws every
-random choice from ``SeedSequence(seed, "pact/<family>").child(f"iteration{i}")``
-and starts its boundary search from index 1, so the estimate of one
-iteration never depends on another.  That independence is the determinism
-contract of the engine subsystem (see DESIGN.md): running the iterations
-serially on one shared solver, or fanned out across threads or processes
-on fresh solvers, produces bit-identical per-iteration estimates — cell
-counts are exact and every random draw is a pure function of (seed,
-family, iteration index).
+random choice from ``SeedSequence(seed, "pact/<family>").child(f"iteration{i}")``,
+so the estimate of one iteration never depends on another.  That
+independence is the determinism contract of the engine subsystem (see
+DESIGN.md): running the iterations serially on one shared solver, or
+fanned out across threads or processes on fresh solvers, produces
+bit-identical per-iteration estimates — cell counts are exact and every
+random draw is a pure function of (seed, family, iteration index).
+
+The boundary search *may* warm-start from the previous iteration's
+boundary (section III-C's gallop): the boundary and the boundary cell
+count are pure functions of the hash index, so the probe order — the
+only thing a warm start changes — cannot change the estimate, it only
+cuts the number of oracle calls.  Probes run on an incremental
+:class:`repro.core.ladder.HashLadder` (one nested solver frame per hash
+index) so moving the probe from index i to j re-asserts only the
+``|i - j|`` delta instead of rebuilding the whole prefix (section
+III-F's incremental solving, with learnt-clause retention in the SAT
+core underneath).
 """
 
 from __future__ import annotations
@@ -26,9 +36,10 @@ from repro.core.cells import SATURATED, CallCounter, saturating_count
 from repro.core.config import PactConfig
 from repro.core.constants import get_constants
 from repro.core.hashes import generate_hash
+from repro.core.ladder import HashLadder, RebuildLadder
 from repro.core.result import CountResult
 from repro.core.search import find_boundary
-from repro.core.slicing import total_bits
+from repro.core.slicing import dedupe_projection, total_bits
 from repro.errors import CounterError, ResourceBudgetError, SolverTimeoutError
 from repro.smt.solver import SmtSolver
 from repro.status import Status
@@ -63,13 +74,23 @@ def iteration_estimate(solver: SmtSolver, projection: list[Term],
                        flat_bits: list[int], config: PactConfig,
                        thresh: int, slice_width: int, max_index: int,
                        deadline: Deadline, calls: CallCounter,
-                       iteration_index: int) -> int:
+                       iteration_index: int,
+                       warm_start: int = 1) -> tuple[int, int]:
     """One iteration of Algorithm 1's main loop (lines 6-14).
 
-    Pure given its inputs: all randomness comes from the seed tree at
-    ``pact/<family>/iteration<i>`` and the boundary search always starts
-    at index 1, so the same (formula, config, index) yields the same
-    estimate on any solver instance, in any process.
+    Returns ``(estimate, boundary)``; the boundary seeds the next
+    iteration's ``warm_start``.  The estimate is pure given (formula,
+    config, index): all randomness comes from the seed tree at
+    ``pact/<family>/iteration<i>`` and the boundary/cell count are pure
+    functions of the hash index, so neither ``warm_start`` (probe order)
+    nor solver state (retained learnt clauses are entailed) can change
+    it — the same inputs yield the same estimate on any solver instance,
+    in any process.
+
+    Hash probes run on a :class:`HashLadder`: hash j lives in nested
+    frame j, so a probe moving from index i to j re-asserts only the
+    ``|i - j|`` delta and the solver keeps everything it learnt about
+    the shared prefix.
     """
     iteration_seeds = SeedSequence(
         config.seed, f"pact/{config.family}").child(
@@ -85,27 +106,31 @@ def iteration_estimate(solver: SmtSolver, projection: list[Term],
             hash_cache[index] = constraint
         return constraint
 
+    ladder_class = HashLadder if config.incremental else RebuildLadder
+    ladder = ladder_class(
+        solver, lambda s, index: get_hash(index).assert_into(s, flat_bits))
+
     def count_at(index: int):
-        solver.push()
-        try:
-            for j in range(1, index + 1):
-                get_hash(j).assert_into(solver, flat_bits)
-            return saturating_count(solver, projection, thresh,
-                                    deadline, calls)
-        finally:
-            solver.pop()
+        ladder.set_depth(index)
+        return saturating_count(solver, projection, thresh, deadline,
+                                calls)
 
-    boundary, cell_count, _ = find_boundary(count_at, 1, max_index)
-
-    if config.family == "xor":
-        # One XOR halves the space; FixLastHash is a no-op
-        # (Algorithm 2, line 1).
-        return cell_count * (1 << boundary)
-    cell_count, partition_product = _fix_last_hash(
-        solver, projection, flat_bits, get_hash, boundary,
-        cell_count, slice_width, thresh, deadline, calls,
-        iteration_seeds, config.family)
-    return cell_count * partition_product
+    try:
+        boundary, cell_count, _ = find_boundary(count_at, warm_start,
+                                                max_index)
+        if config.family == "xor":
+            # One XOR halves the space; FixLastHash is a no-op
+            # (Algorithm 2, line 1).
+            return cell_count * (1 << boundary), boundary
+        cell_count, partition_product = _fix_last_hash(
+            solver, projection, flat_bits, get_hash, ladder, boundary,
+            cell_count, slice_width, thresh, deadline, calls,
+            iteration_seeds, config.family)
+        return cell_count * partition_product, boundary
+    finally:
+        # Unwind the iteration's hash frames even on timeout/budget so a
+        # shared serial solver is back at its root frame.
+        ladder.close()
 
 
 def pact_count(assertions: list[Term], projection: list[Term],
@@ -128,6 +153,9 @@ def pact_count(assertions: list[Term], projection: list[Term],
             raise CounterError(
                 "projection variables must be bit-vector variables "
                 "(integer projections are future work, paper section V)")
+    # A duplicated variable would double-count its bits in total_bits and
+    # hash the same bits twice, voiding pairwise independence.
+    projection = dedupe_projection(projection)
 
     thresh, num_iterations, slice_width = get_constants(
         config.epsilon, config.delta, config.family)
@@ -147,6 +175,7 @@ def pact_count(assertions: list[Term], projection: list[Term],
 
     try:
         solver, flat_bits = build_solver(assertions, projection)
+        solver.set_retention(config.incremental)
 
         # Line 3-4: if the whole projected space is small, count exactly.
         initial = saturating_count(solver, projection, thresh, deadline,
@@ -163,14 +192,23 @@ def pact_count(assertions: list[Term], projection: list[Term],
                 epsilon=config.epsilon, delta=config.delta,
                 family=config.family, seed=config.seed,
                 num_iterations=num_iterations, deadline=deadline,
-                calls=calls, estimates=estimates)
+                calls=calls, estimates=estimates,
+                incremental=config.incremental)
             if status is not None:
                 return finish(None, status=status)
         else:
+            warm_start = 1
             for iteration in range(num_iterations):
-                estimates.append(iteration_estimate(
+                estimate, boundary = iteration_estimate(
                     solver, projection, flat_bits, config, thresh,
-                    slice_width, max_index, deadline, calls, iteration))
+                    slice_width, max_index, deadline, calls, iteration,
+                    warm_start=warm_start)
+                estimates.append(estimate)
+                if config.incremental:
+                    # Gallop the next iteration's search from this
+                    # boundary (sound: probe order never changes the
+                    # estimate, see iteration_estimate).
+                    warm_start = boundary
 
         return finish(median(estimates))
     except SolverTimeoutError:
@@ -179,15 +217,20 @@ def pact_count(assertions: list[Term], projection: list[Term],
         return finish(None, status=Status.BUDGET)
 
 
-def _fix_last_hash(solver, projection, flat_bits, get_hash, boundary,
-                   cell_count, slice_width, thresh, deadline, calls,
-                   iteration_seeds, family):
+def _fix_last_hash(solver, projection, flat_bits, get_hash, ladder,
+                   boundary, cell_count, slice_width, thresh, deadline,
+                   calls, iteration_seeds, family):
     """Algorithm 2: replace the last hash with progressively coarser ones.
 
-    The prefix H[boundary-1] stays; the last hash is re-generated at
-    halved domain widths while the refined cell stays below thresh.  The
-    coarsest still-small configuration maximises the cell (best accuracy).
-    Returns (cell_count, total partition product).
+    The prefix H[boundary-1] stays — as ladder frames, so it is asserted
+    once, not once per replacement width; each candidate last hash gets a
+    scratch frame of its own on top.  (``set_depth`` sits inside the
+    candidate loop: a no-op for :class:`HashLadder` already at that
+    depth, a per-candidate prefix re-assert for :class:`RebuildLadder` —
+    the pre-ladder cost model.)  The last hash is re-generated at halved
+    domain widths while the refined cell stays below thresh; the
+    coarsest still-small configuration maximises the cell (best
+    accuracy).  Returns (cell_count, total partition product).
     """
     prefix_product = 1
     for j in range(1, boundary):
@@ -201,10 +244,9 @@ def _fix_last_hash(solver, projection, flat_bits, get_hash, boundary,
         replacement = generate_hash(
             projection, width, family,
             iteration_seeds.stream(f"fix{width}"))
+        ladder.set_depth(boundary - 1)
         solver.push()
         try:
-            for j in range(1, boundary):
-                get_hash(j).assert_into(solver, flat_bits)
             replacement.assert_into(solver, flat_bits)
             refined = saturating_count(solver, projection, thresh,
                                        deadline, calls)
@@ -221,7 +263,7 @@ def count_projected(assertions, projection, epsilon: float = 0.8,
                     delta: float = 0.2, family: str = "xor",
                     seed: int = 1, timeout: float | None = None,
                     iteration_override: int | None = None,
-                    pool=None) -> CountResult:
+                    pool=None, incremental: bool = True) -> CountResult:
     """The convenience front door: count with (epsilon, delta) guarantees.
 
     See :class:`repro.core.config.PactConfig` for parameter semantics;
@@ -231,6 +273,7 @@ def count_projected(assertions, projection, epsilon: float = 0.8,
         assertions = [assertions]
     config = PactConfig(epsilon=epsilon, delta=delta, family=family,
                         seed=seed, timeout=timeout,
-                        iteration_override=iteration_override)
+                        iteration_override=iteration_override,
+                        incremental=incremental)
     return pact_count(list(assertions), list(projection), config,
                       pool=pool)

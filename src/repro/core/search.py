@@ -4,8 +4,16 @@
 The list C is sparse; ``C[i]`` is the (saturating) cell count after i hash
 functions.  C[0] is saturated (otherwise pact already returned exactly).
 The search finds the boundary index i* with C[i*-1] saturated and
-C[i*] < thresh using O(log |S|) cell counts: gallop (double/halve) from
-the previous iteration's boundary, then bisect.
+C[i*] < thresh using O(log |S|) cell counts: gallop (double upward /
+halve downward) from ``start``, then bisect the bracketed range.
+
+Callers pass the previous iteration's boundary as ``start`` (the warm
+start both counters thread through their serial loops and the fan-out
+workers keep per worker): boundaries barely move between iterations, so
+the gallop usually brackets the new boundary within a couple of probes
+instead of doubling up from index 1.  ``start`` only changes which
+indices get probed — C is a fixed (per-iteration) function of the index
+— so the boundary and its cell count are independent of it.
 """
 
 from __future__ import annotations
@@ -16,12 +24,16 @@ from repro.errors import CounterError
 
 def find_boundary(count_at, start: int, max_index: int
                   ) -> tuple[int, int, dict]:
-    """Locate the saturation boundary.
+    """Locate the saturation boundary, galloping from ``start``.
 
     ``count_at(i)`` returns the (saturating) count with i hash functions;
-    it is memoised here so repeated probes are free.  Returns
-    ``(index, cell_count, cache)`` with cache[index] = cell_count < thresh
-    and cache[index - 1] = SATURATED (index >= 1).
+    it is memoised here so repeated probes are free.  ``start`` is a
+    warm-start hint (typically the previous iteration's boundary,
+    clamped into [1, max_index]): a good hint shortens the gallop, a bad
+    one only costs extra probes — the returned boundary is the same for
+    every ``start``.  Returns ``(index, cell_count, cache)`` with
+    cache[index] = cell_count < thresh and cache[index - 1] = SATURATED
+    (index >= 1).
     """
     if max_index < 1:
         raise CounterError("no hash indices available (empty projection?)")
@@ -47,13 +59,15 @@ def find_boundary(count_at, start: int, max_index: int
                 break
             low = index
     else:
-        # Gallop downward: halve until a saturated cell appears.
+        # Gallop downward: halve until a saturated cell appears, keeping
+        # the bracket tight — every non-saturated probe is a better high.
         high = index  # known small
         low = index
         while True:
             low //= 2
             if probe(low) is SATURATED:
                 break
+            high = low
         # low is saturated, high is small
     # Bisect the boundary: smallest i in (low, high] with a small cell.
     while high - low > 1:

@@ -42,3 +42,20 @@ def slice_projection(projection: list[Term], width: int) -> list[Term]:
 def total_bits(projection: list[Term]) -> int:
     """Total number of projection bits |S| (as a bit count)."""
     return sum(var.sort.width for var in projection)
+
+
+def dedupe_projection(projection: list[Term]) -> list[Term]:
+    """Drop duplicate projection variables, keeping first occurrences.
+
+    A repeated variable would double-count its bits in :func:`total_bits`
+    and hash the same bits twice, breaking the hash families'
+    pairwise-independence premise; every projection entry point dedupes
+    through here (terms are hash-consed, so equality is identity).
+    """
+    seen: set[Term] = set()
+    out: list[Term] = []
+    for var in projection:
+        if var not in seen:
+            seen.add(var)
+            out.append(var)
+    return out

@@ -13,6 +13,14 @@ randomness and the parallel median is bit-identical to the serial one.
 Workers memoise parsing per process keyed by script digest; the
 orchestrator pre-seeds the memo with its own term objects, so the serial
 and thread backends (and forked process children) never re-parse at all.
+
+Workers also keep **per-worker warm-start chains**: the boundary found by
+the last iteration a worker ran (keyed by problem digest and counting
+parameters) seeds the next iteration's galloping search, mirroring the
+serial loop's previous-boundary warm start.  Sound for the same reason:
+the boundary is a pure function of the hash index, so the chain only
+changes probe order, never estimates — parallel runs stay bit-identical
+to serial ones.
 """
 
 from __future__ import annotations
@@ -37,6 +45,9 @@ class IterationSpec:
     ``algorithm`` is "pact" or "cdm"; ``script`` is the full SMT-LIB
     serialisation (declarations, ``:projected-vars``, assertions);
     the remaining fields are the counting parameters an iteration needs.
+    ``incremental`` mirrors :class:`repro.core.config.PactConfig` — when
+    False, workers skip warm-start chains and learnt retention (the A/B
+    baseline mode).
     """
 
     algorithm: str
@@ -45,10 +56,31 @@ class IterationSpec:
     delta: float
     family: str
     seed: int
+    incremental: bool = True
 
 
 # Per-process parse memo: script digest -> (assertions, projection).
 _parse_memo: dict[str, tuple[list, list]] = {}
+
+# Per-worker warm-start chains: (digest, algorithm, family, seed,
+# epsilon, delta) -> boundary of the last iteration finished here.  A
+# stale or shared hint (thread backend) is harmless — it only steers the
+# galloping search's first probe.  Bounded: hints are pure heuristics,
+# so a long-lived worker serving many distinct problems just drops them
+# all once the map fills rather than growing forever.
+_WARM_CAP = 512
+_warm_starts: dict[tuple, int] = {}
+
+
+def _warm_key(spec: IterationSpec) -> tuple:
+    return (_digest(spec.script), spec.algorithm, spec.family, spec.seed,
+            spec.epsilon, spec.delta)
+
+
+def _remember_warm(key: tuple, boundary: int) -> None:
+    if len(_warm_starts) >= _WARM_CAP and key not in _warm_starts:
+        _warm_starts.clear()
+    _warm_starts[key] = boundary
 
 
 def _digest(script: str) -> str:
@@ -79,7 +111,8 @@ def preseed_parse_memo(script: str, assertions, projection) -> None:
 
 
 def make_spec(algorithm: str, assertions, projection, *, epsilon: float,
-              delta: float, family: str, seed: int) -> IterationSpec:
+              delta: float, family: str, seed: int,
+              incremental: bool = True) -> IterationSpec:
     """Build a spec from in-memory terms, pre-seeding the parse memo so
     in-process workers reuse the original term objects."""
     from repro.smt.printer import write_script
@@ -87,13 +120,14 @@ def make_spec(algorithm: str, assertions, projection, *, epsilon: float,
     preseed_parse_memo(script, assertions, projection)
     return IterationSpec(algorithm=algorithm, script=script,
                          epsilon=epsilon, delta=delta, family=family,
-                         seed=seed)
+                         seed=seed, incremental=incremental)
 
 
 def iteration_tasks(algorithm: str, assertions, projection, *,
                     epsilon: float, delta: float, family: str, seed: int,
                     num_iterations: int,
-                    deadline_at: float | None = None) -> list[Task]:
+                    deadline_at: float | None = None,
+                    incremental: bool = True) -> list[Task]:
     """One :class:`Task` per iteration, keyed by iteration index.
 
     ``deadline_at`` is the run's absolute monotonic deadline: the whole
@@ -101,7 +135,8 @@ def iteration_tasks(algorithm: str, assertions, projection, *,
     of the counter's total timeout, exactly like the serial loop.
     """
     spec = make_spec(algorithm, assertions, projection, epsilon=epsilon,
-                     delta=delta, family=family, seed=seed)
+                     delta=delta, family=family, seed=seed,
+                     incremental=incremental)
     return [Task(key=index, fn=_iteration_task, args=(spec, index),
                  deadline_at=deadline_at)
             for index in range(num_iterations)]
@@ -110,7 +145,8 @@ def iteration_tasks(algorithm: str, assertions, projection, *,
 def fan_out_iterations(pool, algorithm: str, assertions, projection, *,
                        epsilon: float, delta: float, family: str,
                        seed: int, num_iterations: int, deadline, calls,
-                       estimates: list) -> str | None:
+                       estimates: list,
+                       incremental: bool = True) -> str | None:
     """Run a counter's iterations across ``pool``, filling ``estimates``
     in iteration order and aggregating oracle calls into ``calls``.
 
@@ -124,13 +160,13 @@ def fan_out_iterations(pool, algorithm: str, assertions, projection, *,
     tasks = iteration_tasks(
         algorithm, assertions, projection, epsilon=epsilon, delta=delta,
         family=family, seed=seed, num_iterations=num_iterations,
-        deadline_at=deadline_at)
+        deadline_at=deadline_at, incremental=incremental)
     status = None
     for result in pool.run(tasks):
         if result.ok:
             estimates.append(result.value["estimate"])
-            calls.solver_calls += result.value["solver_calls"]
-            calls.sat_answers += result.value["sat_answers"]
+            calls.merge(result.value["solver_calls"],
+                        result.value["sat_answers"])
         elif result.status in (Status.TIMEOUT, Status.BUDGET,
                                Status.CANCELLED):
             status = status or (Status.TIMEOUT
@@ -183,14 +219,21 @@ def _pact_iteration(assertions, projection, spec, deadline, calls,
     )
 
     config = PactConfig(epsilon=spec.epsilon, delta=spec.delta,
-                        family=spec.family, seed=spec.seed)
+                        family=spec.family, seed=spec.seed,
+                        incremental=spec.incremental)
     thresh, _, slice_width = get_constants(
         config.epsilon, config.delta, config.family)
     solver, flat_bits = build_solver(assertions, projection)
+    solver.set_retention(config.incremental)
     max_index = max_hash_index(projection, config.family, slice_width)
-    return iteration_estimate(solver, projection, flat_bits, config,
-                              thresh, slice_width, max_index, deadline,
-                              calls, iteration_index)
+    key = _warm_key(spec)
+    warm = _warm_starts.get(key, 1) if config.incremental else 1
+    estimate, boundary = iteration_estimate(
+        solver, projection, flat_bits, config, thresh, slice_width,
+        max_index, deadline, calls, iteration_index, warm_start=warm)
+    if config.incremental:
+        _remember_warm(key, boundary)
+    return estimate
 
 
 def _cdm_iteration(assertions, projection, spec, deadline, calls,
@@ -206,9 +249,16 @@ def _cdm_iteration(assertions, projection, spec, deadline, calls,
     flat_projection = [var for group in projections for var in group]
     solver = SmtSolver()
     solver.assert_all(composed)
+    solver.set_retention(spec.incremental)
     for var in flat_projection:
         solver.ensure_bits(var)
     max_index = total_bits(flat_projection)
-    return cdm_iteration_estimate(solver, flat_projection, spec.seed,
-                                  copies, max_index, deadline, calls,
-                                  iteration_index)
+    key = _warm_key(spec)
+    warm = _warm_starts.get(key, 1) if spec.incremental else 1
+    estimate, boundary = cdm_iteration_estimate(
+        solver, flat_projection, spec.seed, copies, max_index, deadline,
+        calls, iteration_index, warm_start=warm,
+        incremental=spec.incremental)
+    if spec.incremental:
+        _remember_warm(key, boundary)
+    return estimate

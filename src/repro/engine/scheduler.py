@@ -63,12 +63,15 @@ def slot_fingerprint(instance: Instance, configuration: str,
                      preset: Preset) -> str:
     """Cache key: formula + projection + everything that changes the
     answer or the budget."""
-    return formula_fingerprint(
-        instance.assertions, instance.projection,
+    from repro.api.problem import key_incremental_mode
+    params = key_incremental_mode(
         {"configuration": configuration, "epsilon": preset.epsilon,
          "delta": preset.delta, "seed": preset.base_seed,
          "timeout": preset.timeout,
-         "iterations": preset.iteration_override})
+         "iterations": preset.iteration_override},
+        preset.incremental)
+    return formula_fingerprint(instance.assertions, instance.projection,
+                               params)
 
 
 def _run_slot(spec: SlotSpec, budget: float | None = None) -> RunRecord:

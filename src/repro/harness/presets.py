@@ -23,6 +23,10 @@ class Preset:
     min_count: int = 500
     sat_budget: float | None = 2.0
     base_seed: int = 1
+    # pact's incremental solving layer (ladder warm starts + learnt
+    # retention); estimates are identical either way — False runs the
+    # whole matrix in rebuild-baseline mode for A/B measurements.
+    incremental: bool = True
 
     @classmethod
     def paper(cls) -> "Preset":

@@ -73,7 +73,8 @@ def preset_request(configuration: str, preset: Preset) -> CountRequest:
     return CountRequest(
         counter=configuration, epsilon=preset.epsilon, delta=preset.delta,
         seed=preset.base_seed, timeout=preset.timeout,
-        iteration_override=preset.iteration_override)
+        iteration_override=preset.iteration_override,
+        incremental=preset.incremental)
 
 
 def record_of(response: CountResponse, configuration: str,

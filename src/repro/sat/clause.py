@@ -9,17 +9,23 @@ class Clause:
     ``lits[0]`` and ``lits[1]`` are the watched literals.  ``deleted``
     supports lazy removal from watch lists (frames and clause-DB reduction
     mark clauses deleted; propagation compacts watch lists as it visits
-    them).
+    them).  ``dep`` is the innermost solver frame depth the clause depends
+    on: for an original clause the frame it was added in, for a learnt
+    clause the deepest frame of anything used in its derivation
+    (antecedent clauses, XOR rows, root-level assignments) — a pop at
+    depth d may retain exactly the learnt clauses with ``dep < d``.
     """
 
-    __slots__ = ("lits", "learnt", "activity", "lbd", "deleted")
+    __slots__ = ("lits", "learnt", "activity", "lbd", "deleted", "dep")
 
-    def __init__(self, lits: list[int], learnt: bool = False, lbd: int = 0):
+    def __init__(self, lits: list[int], learnt: bool = False, lbd: int = 0,
+                 dep: int = 0):
         self.lits = lits
         self.learnt = learnt
         self.activity = 0.0
         self.lbd = lbd
         self.deleted = False
+        self.dep = dep
 
     def __len__(self) -> int:
         return len(self.lits)

@@ -15,6 +15,12 @@ workload of repeated incremental solves):
   added after a :meth:`push` vanish on :meth:`pop` — exactly the
   discipline SaturatingCounter needs (hash constraints + blocking clauses
   per cell);
+* safe learnt-clause retention across :meth:`pop`: a learnt clause whose
+  variables and whole derivation (antecedent clauses, XOR rows,
+  root-level assignments) predate the popped frame is entailed by what
+  remains, so it survives the pop instead of being thrown away — the
+  incremental-solving payoff of pact's hash-ladder workload (disable
+  with ``retain_learnts = False``);
 * wall-clock deadlines and conflict budgets.
 
 Literals are DIMACS-style signed ints (see :mod:`repro.sat.types`).
@@ -62,6 +68,10 @@ class SatSolver:
         self._reason: list = [None]  # Clause | ("xor", row) | None
         self._activity: list[float] = [0.0]
         self._phase: list[bool] = [False]
+        # Frame depth of each variable's level-0 assignment (meaningful
+        # only while the variable is root-assigned; popping that frame
+        # unassigns it via the trail mark).
+        self._assign_frame: list[int] = [0]
         self._watches: list[list[Clause]] = []
         self._clauses: list[Clause] = []
         self._learnts: list[Clause] = []
@@ -76,6 +86,7 @@ class SatSolver:
         self._frames: list[_Frame] = []
         self._ok = True
         self._max_learnts = 4000.0
+        self.retain_learnts = True
         # Bitmask views of the assignment, consumed by the XOR engine.
         self.assigned_mask = 0
         self.true_mask = 0
@@ -84,6 +95,7 @@ class SatSolver:
         self.stats = {
             "decisions": 0, "propagations": 0, "conflicts": 0,
             "restarts": 0, "solves": 0, "learnt_literals": 0,
+            "retained_learnts": 0,
         }
 
     # ------------------------------------------------------------------
@@ -96,6 +108,7 @@ class SatSolver:
         self._reason.append(None)
         self._activity.append(0.0)
         self._phase.append(False)
+        self._assign_frame.append(0)
         self._watches.append([])
         self._watches.append([])
         var = len(self._assigns) - 1
@@ -159,7 +172,7 @@ class SatSolver:
             if not self._enqueue_root(simplified[0]):
                 return False
             return self._propagate_root()
-        clause = Clause(simplified)
+        clause = Clause(simplified, dep=len(self._frames))
         self._clauses.append(clause)
         self._watch_clause(clause)
         return True
@@ -198,9 +211,16 @@ class SatSolver:
         ))
 
     def pop(self) -> None:
-        """Close the innermost frame, restoring the solver state."""
+        """Close the innermost frame, restoring the solver state.
+
+        Learnt clauses born inside the frame whose variables and whole
+        derivation predate it (``dep`` below the popped depth, no
+        frame-local variable) are entailed by the surviving formula and
+        are retained instead of deleted.
+        """
         if not self._frames:
             raise RuntimeError("pop without matching push")
+        depth = len(self._frames)
         frame = self._frames.pop()
         self._backtrack(0)
         # Undo level-0 assignments made inside the frame.
@@ -208,14 +228,23 @@ class SatSolver:
             self._unassign(lit)
         del self._trail[frame.trail_len:]
         self._qhead = min(self._qhead, frame.trail_len)
-        # Remove clauses and learnts added inside the frame.  Learnts are
-        # removed wholesale: any of them may depend on frame clauses.
+        # Remove clauses added inside the frame; retain the learnts whose
+        # derivation never touched it.
         for clause in self._clauses[frame.num_clauses:]:
             clause.deleted = True
         del self._clauses[frame.num_clauses:]
-        for clause in self._learnts[frame.num_learnts:]:
-            clause.deleted = True
+        tail = self._learnts[frame.num_learnts:]
         del self._learnts[frame.num_learnts:]
+        num_vars = frame.num_vars
+        for clause in tail:
+            if (self.retain_learnts and not clause.deleted
+                    and clause.dep < depth
+                    and all((lit if lit > 0 else -lit) <= num_vars
+                            for lit in clause.lits)):
+                self._learnts.append(clause)
+                self.stats["retained_learnts"] += 1
+            else:
+                clause.deleted = True
         self.xor.truncate(frame.xor_mark)
         # Drop frame-local variables.
         if self.num_vars() > frame.num_vars:
@@ -224,6 +253,7 @@ class SatSolver:
             del self._reason[frame.num_vars + 1:]
             del self._activity[frame.num_vars + 1:]
             del self._phase[frame.num_vars + 1:]
+            del self._assign_frame[frame.num_vars + 1:]
             del self._watches[2 * frame.num_vars:]
         self._ok = frame.ok
 
@@ -244,6 +274,11 @@ class SatSolver:
         self._assigns[var] = value
         self._level[var] = len(self._trail_lim)
         self._reason[var] = reason
+        if not self._trail_lim:
+            # Root assignment: lives (and is entailed) exactly while the
+            # current frame does — the retention bound for any learnt
+            # clause whose analysis skipped this variable.
+            self._assign_frame[var] = len(self._frames)
         self._trail.append(lit)
         bit = 1 << var
         self.assigned_mask |= bit
@@ -359,10 +394,14 @@ class SatSolver:
         lit = var if self._assigns[var] == TRUE else -var
         return self.xor.reason_clause(lit, row_index)
 
-    def _analyze(self, conflict: Clause) -> tuple[list[int], int]:
-        """First-UIP analysis; returns (learnt clause lits, backtrack level).
+    def _analyze(self, conflict: Clause) -> tuple[list[int], int, int]:
+        """First-UIP analysis; returns (learnt lits, backtrack level, dep).
 
-        learnt[0] is the asserting literal.
+        learnt[0] is the asserting literal.  ``dep`` is the innermost
+        frame depth the derivation relied on — the deepest frame among
+        the antecedent clauses resolved on (XOR reasons carry their row's
+        birth frame) and the root assignments whose variables the
+        analysis skipped — i.e. the retention bound :meth:`pop` checks.
         """
         learnt = [0]
         seen: set[int] = set()
@@ -371,11 +410,17 @@ class SatSolver:
         index = len(self._trail) - 1
         current_level = self.decision_level()
         reason_lits = conflict.lits
+        dep = conflict.dep
+        assign_frame = self._assign_frame
         while True:
             start = 1 if lit is not None else 0
             for q in reason_lits[start:]:
                 var = q if q > 0 else -q
-                if var in seen or self._level[var] == 0:
+                if var in seen:
+                    continue
+                if self._level[var] == 0:
+                    if assign_frame[var] > dep:
+                        dep = assign_frame[var]
                     continue
                 seen.add(var)
                 self._bump_var(var)
@@ -394,11 +439,15 @@ class SatSolver:
             if counter == 0:
                 learnt[0] = -lit
                 break
+            # Resolved variables always have a reason (first-UIP stops
+            # before reaching the decision), so no None check.
             clause = self._reason_clause(var)
-            if clause is not None and clause.learnt:
+            if clause.dep > dep:
+                dep = clause.dep
+            if clause.learnt:
                 self._bump_clause(clause)
             reason_lits = clause.lits
-        self._minimize(learnt, seen)
+        dep = self._minimize(learnt, seen, dep)
         # Compute backtrack level: second-highest decision level in learnt.
         if len(learnt) == 1:
             back_level = 0
@@ -411,10 +460,16 @@ class SatSolver:
             learnt[1], learnt[max_i] = learnt[max_i], learnt[1]
             back_level = self._level[abs(learnt[1])]
         self.stats["learnt_literals"] += len(learnt)
-        return learnt, back_level
+        return learnt, back_level, dep
 
-    def _minimize(self, learnt: list[int], seen: set[int]) -> None:
-        """Drop literals whose reasons are subsumed by the learnt clause."""
+    def _minimize(self, learnt: list[int], seen: set[int],
+                  dep: int) -> int:
+        """Drop literals whose reasons are subsumed by the learnt clause.
+
+        Each drop resolves against the literal's reason clause, so its
+        frame dependencies (and those of the root assignments it leans
+        on) fold into ``dep``; returns the updated bound.
+        """
         kept = [learnt[0]]
         for lit in learnt[1:]:
             var = lit if lit > 0 else -lit
@@ -422,12 +477,24 @@ class SatSolver:
             if reason is None:
                 kept.append(lit)
                 continue
+            removable = True
             for q in reason.lits:
                 qv = q if q > 0 else -q
                 if qv != var and qv not in seen and self._level[qv] > 0:
-                    kept.append(lit)
+                    removable = False
                     break
+            if not removable:
+                kept.append(lit)
+                continue
+            if reason.dep > dep:
+                dep = reason.dep
+            for q in reason.lits:
+                qv = q if q > 0 else -q
+                if (self._level[qv] == 0
+                        and self._assign_frame[qv] > dep):
+                    dep = self._assign_frame[qv]
         learnt[:] = kept
+        return dep
 
     # ------------------------------------------------------------------
     # activities
@@ -557,12 +624,12 @@ class SatSolver:
                 if self.decision_level() == 0:
                     self._ok = False
                     return False, conflicts
-                learnt, back_level = self._analyze(conflict)
+                learnt, back_level, dep = self._analyze(conflict)
                 self._backtrack(back_level)
                 if len(learnt) == 1:
                     self._enqueue(learnt[0], None)
                 else:
-                    clause = Clause(learnt, learnt=True)
+                    clause = Clause(learnt, learnt=True, dep=dep)
                     self._learnts.append(clause)
                     self._watch_clause(clause)
                     self._bump_clause(clause)

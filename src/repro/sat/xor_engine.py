@@ -25,15 +25,23 @@ from repro.sat.clause import Clause
 
 
 class XorRow:
-    """One parity constraint: XOR of the variables in ``mask`` equals ``rhs``."""
+    """One parity constraint: XOR of the variables in ``mask`` equals ``rhs``.
 
-    __slots__ = ("mask", "rhs", "w1", "w2")
+    ``birth`` is the solver frame depth the row was added in; clauses
+    materialised from the row (reasons, conflicts) inherit it as their
+    dependency index, so learnt clauses derived through this row are
+    retained across pops exactly while the row itself survives.
+    """
 
-    def __init__(self, mask: int, rhs: int, w1: int, w2: int):
+    __slots__ = ("mask", "rhs", "w1", "w2", "birth")
+
+    def __init__(self, mask: int, rhs: int, w1: int, w2: int,
+                 birth: int = 0):
         self.mask = mask
         self.rhs = rhs
         self.w1 = w1
         self.w2 = w2
+        self.birth = birth
 
     def variables(self) -> list[int]:
         """The variables of this row, ascending."""
@@ -101,7 +109,7 @@ class XorEngine:
         # Level-0-assigned variables were folded into `parity` above; they
         # stay fixed for the row's lifetime (a frame pop that could unfix
         # them also removes the row), so the reduced mask is sound.
-        row = XorRow(mask, parity, w1, w2)
+        row = XorRow(mask, parity, w1, w2, birth=solver.frame_depth)
         index = len(self.rows)
         self.rows.append(row)
         self._watch.setdefault(w1, []).append(index)
@@ -178,7 +186,7 @@ class XorEngine:
             if v == var:
                 continue
             lits.append(-v if (solver.true_mask >> v) & 1 else v)
-        return Clause(lits, learnt=True)
+        return Clause(lits, learnt=True, dep=row.birth)
 
     def conflict_clause(self, index: int) -> Clause:
         """The clause falsified by a fully-assigned, parity-violating row."""
@@ -187,7 +195,7 @@ class XorEngine:
         lits = [
             -v if (solver.true_mask >> v) & 1 else v for v in row.variables()
         ]
-        return Clause(lits, learnt=True)
+        return Clause(lits, learnt=True, dep=row.birth)
 
     # ------------------------------------------------------------------
     # frames

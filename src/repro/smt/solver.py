@@ -9,8 +9,11 @@ Architecture (mirroring the CVC5 configuration pact uses, section III-F):
 * ``check()`` runs a lazy DPLL(T) loop for LRA: SAT model -> simplex
   feasibility -> either a real model or a blocking clause;
 * ``push()``/``pop()`` frames scope assertions, hash constraints, blocking
-  clauses, learnt clauses and all preprocessing registries — the exact
-  discipline SaturatingCounter needs;
+  clauses and all preprocessing registries — the exact discipline
+  SaturatingCounter and the hash ladder need; learnt clauses whose
+  derivation never touched the popped frame are *retained* by the SAT
+  core (see :meth:`set_retention`), so popping a blocking frame or a
+  ladder rung keeps what the solver learnt about the rest;
 * XOR hash constraints go straight to the native XOR engine via
   :meth:`assert_xor_bits`.
 """
@@ -73,6 +76,25 @@ class SmtSolver:
         self.preprocessor.pop()
         self.lra.pop()
         self._assertion_stack.pop()
+
+    @property
+    def frame_depth(self) -> int:
+        """Number of open frames (the hash ladder's rung count lives
+        within this)."""
+        return len(self._assertion_stack) - 1
+
+    def set_retention(self, enabled: bool) -> None:
+        """Toggle the SAT core's learnt-clause retention across pops.
+
+        On by default; pact turns it off when ``PactConfig.incremental``
+        is False (A/B benchmarking, regression baselines).
+        """
+        self.sat.retain_learnts = enabled
+
+    @property
+    def retained_learnts(self) -> int:
+        """How many learnt clauses survived frame pops so far."""
+        return self.sat.stats["retained_learnts"]
 
     def assertions(self) -> list[Term]:
         return [t for frame in self._assertion_stack for t in frame]

@@ -58,6 +58,25 @@ class TestConstruction:
         with pytest.raises(ReproError):
             Problem.from_script("(assert true)")
 
+    def test_from_terms_dedupes_projection(self):
+        """Same guard as pact_count: a duplicated projection variable
+        would double-count bits in projection_bits()/total_bits."""
+        assertions, projection = _terms("pb_dup")
+        x = projection[0]
+        problem = Problem.from_terms(assertions, [x, x, x])
+        assert problem.projection == (x,)
+        assert problem.projection_bits() == 8
+
+    def test_from_terms_dedupe_preserves_order(self):
+        x, y = bv_var("pb_ordx", 4), bv_var("pb_ordy", 4)
+        problem = Problem.from_terms([bv_ult(x, bv_val(3, 4))],
+                                     [y, x, y, x])
+        assert problem.projection == (y, x)
+
+    def test_from_script_project_override_deduped(self):
+        problem = Problem.from_script(SCRIPT, project=["q", "q", "p"])
+        assert [v.name for v in problem.projection] == ["q", "p"]
+
     def test_from_file(self, tmp_path):
         path = tmp_path / "toy.smt2"
         path.write_text(SCRIPT)

@@ -1,5 +1,7 @@
 """SaturatingCounter and NextIndex (galloping search) tests."""
 
+import threading
+
 import pytest
 
 from repro.core.cells import SATURATED, CallCounter, saturating_count
@@ -58,6 +60,58 @@ class TestSaturatingCounter:
         assert result is SATURATED  # thresh solutions means >= thresh
 
 
+class TestCallCounterAtomicity:
+    def test_concurrent_records_never_undercount(self):
+        """The thread-backend race: many threads hammering one counter
+        must not drop increments (a bare += would)."""
+        calls = CallCounter()
+        threads = 8
+        per_thread = 5000
+        barrier = threading.Barrier(threads)
+
+        def worker(thread_index):
+            barrier.wait()
+            for i in range(per_thread):
+                calls.record(is_sat=(i + thread_index) % 2 == 0)
+
+        pool = [threading.Thread(target=worker, args=(t,))
+                for t in range(threads)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        assert calls.solver_calls == threads * per_thread
+        assert calls.sat_answers == threads * per_thread // 2
+
+    def test_merge_is_atomic_under_concurrency(self):
+        calls = CallCounter()
+        threads = 8
+        merges = 2000
+
+        def worker():
+            for _ in range(merges):
+                calls.merge(3, 2)
+
+        pool = [threading.Thread(target=worker) for _ in range(threads)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        assert calls.solver_calls == threads * merges * 3
+        assert calls.sat_answers == threads * merges * 2
+
+    def test_pickle_roundtrip_drops_lock_keeps_counts(self):
+        import pickle
+        calls = CallCounter()
+        calls.record(True)
+        calls.record(False)
+        clone = pickle.loads(pickle.dumps(calls))
+        assert clone.solver_calls == 2
+        assert clone.sat_answers == 1
+        clone.record(True)  # still usable (fresh lock)
+        assert clone.sat_answers == 2
+
+
 class TestFindBoundary:
     def synthetic(self, sizes):
         """count_at built from a fixed cell-size profile."""
@@ -101,6 +155,52 @@ class TestFindBoundary:
         index, _, _ = find_boundary(count_at, 1, 64)
         assert index == boundary
         assert len(probes) <= 2 * 7 + 2  # ~2 log2(64)
+
+    def test_downward_gallop_is_logarithmic_in_start(self):
+        """start far above the boundary: halve down, then bisect —
+        O(log start) probes, not a linear walk."""
+        boundary = 5
+        sizes = [99] * boundary + [4] + [1] * 59
+        count_at, probes = self.synthetic(sizes)
+        index, value, _ = find_boundary(count_at, 60, 64)
+        assert index == boundary
+        assert value == 4
+        assert len(probes) <= 2 * 7 + 2  # ~2 log2(64)
+
+    def test_start_at_max_index_with_boundary_one(self):
+        sizes = [99] + [3] * 16
+        count_at, probes = self.synthetic(sizes)
+        index, value, _ = find_boundary(count_at, 16, 16)
+        assert index == 1
+        assert value == 3
+
+    def test_start_just_above_boundary(self):
+        sizes = [99] * 7 + [5] + [2] * 8
+        count_at, probes = self.synthetic(sizes)
+        index, value, _ = find_boundary(count_at, 8, 16)
+        assert index == 7
+        assert value == 5
+        assert len(probes) <= 5  # halve once to 4, bisect back up
+
+    def test_boundary_independent_of_start(self):
+        """The warm-start soundness premise: every start returns the
+        same (boundary, cell count)."""
+        sizes = [99] * 9 + [6] + [2] * 23
+        results = set()
+        for start in (1, 3, 9, 10, 15, 32):
+            count_at, _ = self.synthetic(sizes)
+            index, value, _ = find_boundary(count_at, start, 32)
+            results.add((index, value))
+        assert results == {(9, 6)}
+
+    def test_start_clamped_into_range(self):
+        sizes = [64, 32, 16, 8, 4, 2, 1, 0, 0]
+        count_at, _ = self.synthetic(sizes)
+        index, value, _ = find_boundary(count_at, 50, 8)  # start > cap
+        assert (index, value) == (3, 8)
+        count_at, _ = self.synthetic(sizes)
+        index, value, _ = find_boundary(count_at, -2, 8)  # start < 1
+        assert (index, value) == (3, 8)
 
     def test_boundary_at_one(self):
         sizes = [99, 2, 1, 1]

@@ -154,6 +154,28 @@ class TestPactApi:
         with pytest.raises(CounterError):
             count_projected([bv_ult(x, bv_val(5, 5))], [r])
 
+    def test_duplicate_projection_deduped(self):
+        """A repeated projection variable must not double-count its bits
+        (it would inflate total_bits and break pairwise independence)."""
+        x = bv_var("api_dup", 8)
+        formula = [bv_ult(x, bv_val(200, 8))]
+        deduped = count_projected(formula, [x, x, x], family="xor",
+                                  seed=7, iteration_override=3)
+        clean = count_projected(formula, [x], family="xor", seed=7,
+                                iteration_override=3)
+        assert deduped.estimates == clean.estimates
+
+    def test_duplicate_projection_multi_var_order_preserved(self):
+        x, y = bv_var("api_d2x", 4), bv_var("api_d2y", 4)
+        formula = bv_ult(bv_add(x, y), bv_val(8, 4))
+        truth = exact_count([formula], [x, y]).estimate
+        result = count_projected([formula], [x, y, x, y], family="xor",
+                                 seed=3, iteration_override=7)
+        clean = count_projected([formula], [x, y], family="xor",
+                                seed=3, iteration_override=7)
+        assert result.estimates == clean.estimates
+        assert within_tolerance(truth, result.estimate)
+
     def test_timeout_reported(self):
         x, y = bv_var("api_tx", 14), bv_var("api_ty", 14)
         result = count_projected(
