@@ -7,7 +7,6 @@ simplex, FP circuits).
 
 import random
 
-import pytest
 
 from repro.sat import SatSolver
 from repro.smt import (

@@ -73,6 +73,20 @@ def key_incremental_mode(params: dict, incremental: bool) -> dict:
     return params
 
 
+def key_solver_modes(params: dict, *, incremental: bool = True,
+                     simplify: bool = True) -> dict:
+    """Fold every estimate-neutral solver mode into fingerprint
+    ``params`` — the incremental layer and the compile pipeline's
+    simplification share :func:`key_incremental_mode`'s rule: a key is
+    added only when the mode is *off*, so default fingerprints stay
+    byte-identical to caches written before each knob existed.
+    """
+    key_incremental_mode(params, incremental)
+    if not simplify:
+        params["simplify"] = False
+    return params
+
+
 @dataclass(frozen=True)
 class Problem:
     """An immutable projected-counting problem."""
@@ -154,6 +168,32 @@ class Problem:
         """The cache fingerprint under ``params`` (see
         :func:`fingerprint_terms`)."""
         return fingerprint_terms(self.assertions, self.projection, params)
+
+    @cached_property
+    def compile_key(self) -> str:
+        """The canonical compile digest (cached — serialising the
+        formula once per Problem, not once per count).  One recipe for
+        every layer: :func:`repro.compile.canonical_digest`."""
+        from repro.compile import canonical_digest
+        return canonical_digest(self.assertions, self.projection)
+
+    # ------------------------------------------------------------------
+    # compilation
+    # ------------------------------------------------------------------
+    def compile(self, simplify: bool = True):
+        """The problem's :class:`repro.compile.CompiledProblem`.
+
+        Compiled at most once per (problem, simplify) per process: the
+        per-process compile memo is keyed by the canonical script digest
+        — the *logic-free* serialisation the counters themselves hash
+        (:func:`repro.core.pact.compile_counting_problem`) — so
+        sessions, fan-out workers, the counters and the CLI all share
+        one artifact.  ``simplify=False`` skips the count-preserving
+        CNF simplification (the A/B baseline).
+        """
+        from repro.compile import compiled_for
+        return compiled_for(list(self.assertions), list(self.projection),
+                            digest=self.compile_key, simplify=simplify)
 
     # ------------------------------------------------------------------
     def projection_bits(self) -> int:

@@ -76,10 +76,12 @@ class PactCounter:
             family=self.family, seed=request.seed,
             timeout=request.timeout,
             iteration_override=request.iteration_override,
-            incremental=request.incremental)
+            incremental=request.incremental,
+            simplify=request.simplify)
         result = pact_count(list(problem.assertions),
                             list(problem.projection), config,
-                            deadline=deadline, pool=pool)
+                            deadline=deadline, pool=pool,
+                            digest=problem.compile_key)
         return CountResponse.from_result(result, counter=self.name,
                                          problem=problem.name)
 
@@ -97,7 +99,8 @@ class CdmCounter:
             epsilon=request.epsilon, delta=request.delta,
             seed=request.seed, timeout=request.timeout,
             iteration_override=request.iteration_override, pool=pool,
-            deadline=deadline, incremental=request.incremental)
+            deadline=deadline, incremental=request.incremental,
+            simplify=request.simplify, digest=problem.compile_key)
         return CountResponse.from_result(result, counter=self.name,
                                          problem=problem.name)
 

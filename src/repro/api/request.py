@@ -56,7 +56,10 @@ class CountRequest:
     runs; ``limit`` caps the ``enum`` counter's enumeration;
     ``incremental`` toggles pact's incremental solving layer (hash
     ladder warm starts + learnt-clause retention — never changes
-    estimates, ``False`` is the A/B baseline mode).
+    estimates, ``False`` is the A/B baseline mode); ``simplify``
+    toggles the compile pipeline's count-preserving CNF simplification
+    (:mod:`repro.compile` — never changes estimates either, ``False``
+    is its A/B baseline).
     """
 
     counter: str = "pact:xor"
@@ -67,6 +70,7 @@ class CountRequest:
     iteration_override: int | None = None
     limit: int | None = None
     incremental: bool = True
+    simplify: bool = True
 
     def __post_init__(self):
         if self.epsilon <= 0:
@@ -83,14 +87,14 @@ class CountRequest:
         """Everything that changes the answer or the budget, as the
         fingerprint parameter mapping (``counter`` overrides the request's
         own name with its canonical registry spelling)."""
-        from repro.api.problem import key_incremental_mode
-        return key_incremental_mode(
+        from repro.api.problem import key_solver_modes
+        return key_solver_modes(
             {"counter": counter or self.counter,
              "epsilon": self.epsilon, "delta": self.delta,
              "seed": self.seed, "timeout": self.timeout,
              "iterations": self.iteration_override,
              "limit": self.limit},
-            self.incremental)
+            incremental=self.incremental, simplify=self.simplify)
 
 
 @dataclass(frozen=True)

@@ -59,6 +59,7 @@ class _CountSpec:
     iteration_override: int | None
     limit: int | None
     incremental: bool = True
+    simplify: bool = True
 
 
 def _run_spec(spec: _CountSpec, cancel=None,
@@ -79,7 +80,7 @@ def _run_spec(spec: _CountSpec, cancel=None,
         seed=spec.seed,
         timeout=spec.timeout if budget is None else budget,
         iteration_override=spec.iteration_override, limit=spec.limit,
-        incremental=spec.incremental)
+        incremental=spec.incremental, simplify=spec.simplify)
     deadline = (CooperativeDeadline(request.timeout, cancel)
                 if cancel is not None else None)
     counter = resolve(spec.counter)
@@ -179,6 +180,8 @@ class Session:
         if cached is not None:
             self._emit(progress, "cache-hit", cached)
             return cached
+        digest = self._preload_artifact(problem, request,
+                                        counter.name)
         start = time.monotonic()
         try:
             response = counter.count(
@@ -192,6 +195,7 @@ class Session:
         # No flush here: close()/__exit__ (and each count_batch) persist
         # the cache once, so a counting loop is not quadratic in I/O.
         self._store(fingerprint, response)
+        self._persist_artifact(digest, request)
         self._emit(progress, "completed", response)
         return response
 
@@ -210,6 +214,7 @@ class Session:
         counter = resolve(request.counter)
         responses: list[CountResponse | None] = [None] * len(problems)
         fingerprints: dict[int, str] = {}
+        digests: dict[int, str | None] = {}
         tasks: list[Task] = []
         for index, problem in enumerate(problems):
             fingerprint = self._fingerprint(problem, request, counter.name)
@@ -220,6 +225,8 @@ class Session:
                 continue
             if fingerprint is not None:
                 fingerprints[index] = fingerprint
+            digests[index] = self._preload_artifact(problem, request,
+                                                    counter.name)
             spec = self._spec(problem, request, counter.name)
             tasks.append(Task(key=index, fn=_run_spec, args=(spec, None),
                               budget=request.timeout))
@@ -231,6 +238,10 @@ class Session:
                                          counter.name)
             responses[index] = response
             self._store(fingerprints.get(index), response)
+            # Persist the artifact when this process compiled it
+            # (serial/thread/forked workers share the memo; spawned
+            # workers keep theirs process-local).
+            self._persist_artifact(digests.get(index), request)
             self._emit(progress, "completed", response)
 
         self.pool.run(tasks, progress=on_complete)
@@ -355,7 +366,52 @@ class Session:
             delta=request.delta, seed=request.seed,
             timeout=request.timeout,
             iteration_override=request.iteration_override,
-            limit=request.limit, incremental=request.incremental)
+            limit=request.limit, incremental=request.incremental,
+            simplify=request.simplify)
+
+    def _preload_artifact(self, problem: Problem, request: CountRequest,
+                          counter: str) -> str | None:
+        """Seed the compile memo from the cache's artifact store.
+
+        Returns the problem's canonical compile digest (for the
+        persist-after-count hook) when the cache is on.  A hit means
+        the counter skips preprocessing + bit-blasting entirely on a
+        cold process; corruption reads as a miss.  Only pact counters
+        compile under the plain problem digest (cdm compiles its q-fold
+        composition process-locally, enum never compiles), so other
+        counters skip the serialisation + disk probe entirely.
+        """
+        if self.cache is None or not counter.startswith("pact:"):
+            return None
+        from repro.compile import (
+            CompiledProblem, peek_compiled, preseed_compile_memo,
+        )
+        digest = problem.compile_key
+        if peek_compiled(digest, simplify=request.simplify) is not None:
+            return digest
+        payload = self.cache.get_artifact(digest,
+                                          simplified=request.simplify)
+        if payload is not None:
+            try:
+                preseed_compile_memo(CompiledProblem.from_payload(payload))
+            except (KeyError, TypeError, ValueError):
+                pass  # corrupt artifact: compile as usual
+        return digest
+
+    def _persist_artifact(self, digest: str | None,
+                          request: CountRequest) -> None:
+        """Persist the artifact this count compiled, if any and if it
+        round-trips (lazy-LRA artifacts stay process-local)."""
+        if digest is None or self.cache is None:
+            return
+        from repro.compile import peek_compiled
+        artifact = peek_compiled(digest, simplify=request.simplify)
+        if artifact is None or not artifact.persistable:
+            return
+        if not self.cache.has_artifact(digest,
+                                       simplified=request.simplify):
+            self.cache.put_artifact(digest, artifact.to_payload(),
+                                    simplified=request.simplify)
 
     def _fingerprint(self, problem, request, counter) -> str | None:
         if self.cache is None:

@@ -11,6 +11,8 @@ Subcommands::
                          [--timeout T] [--project x,y] [--jobs N]
                          [--backend B]
     pact enum FILE.smt2  [--project x,y] [--timeout T] [--limit N]
+    pact compile FILE.smt2 [--project x,y] [--no-simplify]
+                         [--out FILE.cnf] [--quiet]
     pact generate --logic QF_BVFP --out DIR [--count N] [--width W]
     pact run      [--preset smoke|laptop|paper] [--jobs N] [--backend B]
                   [--cache-dir DIR] [--no-cache] [--out DIR]
@@ -73,7 +75,8 @@ def _session(args, default_cache_dir: str | None = None) -> Session:
 def _request(args, counter: str) -> CountRequest:
     return CountRequest(counter=counter, epsilon=args.epsilon,
                         delta=args.delta, seed=args.seed,
-                        timeout=args.timeout)
+                        timeout=args.timeout,
+                        simplify=not getattr(args, "no_simplify", False))
 
 
 def _print_solved(response) -> None:
@@ -134,6 +137,33 @@ def _cmd_enum(args) -> int:
         return 0
     print(f"s {response.status}")
     return 1
+
+
+def _cmd_compile(args) -> int:
+    """Compile once, dump stats + DIMACS (with ``c p show`` lines)."""
+    problem = _problem(args)
+    artifact = problem.compile(simplify=not args.no_simplify)
+    stats = artifact.stats
+    print(f"c compiled {problem.name}: {stats.vars} vars, "
+          f"{stats.clauses} clauses, {stats.xors} xor rows "
+          f"(raw: {stats.raw_clauses} clauses + {stats.raw_units} units) "
+          f"in {stats.seconds:.3f}s")
+    if artifact.simplified:
+        print(f"c simplify: {stats.units_fixed} units fixed, "
+              f"{stats.literals_substituted} literals substituted, "
+              f"{stats.aux_eliminated} auxiliaries eliminated "
+              f"(-{stats.clauses_removed}/+{stats.clauses_added} clauses)")
+        print(f"c support: {len(artifact.support)}/{stats.support_total} "
+              f"projection bits "
+              f"(fixed={stats.support_fixed} "
+              f"aliased={stats.support_aliased} "
+              f"free={stats.support_free})")
+    if args.out:
+        pathlib.Path(args.out).write_text(artifact.to_dimacs())
+        print(f"c wrote {args.out}")
+    elif not args.quiet:
+        sys.stdout.write(artifact.to_dimacs())
+    return 0
 
 
 def _cmd_generate(args) -> int:
@@ -263,6 +293,10 @@ def _add_request_arguments(parser) -> None:
     parser.add_argument("--timeout", type=float, default=None)
     parser.add_argument("--project", default=None,
                         help="comma-separated projection variables")
+    parser.add_argument("--no-simplify", action="store_true",
+                        help="skip the compile pipeline's "
+                             "count-preserving CNF simplification "
+                             "(A/B baseline; estimates are identical)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -298,6 +332,20 @@ def build_parser() -> argparse.ArgumentParser:
     enum.add_argument("--limit", type=int, default=None)
     enum.add_argument("--project", default=None)
     enum.set_defaults(handler=_cmd_enum)
+
+    compile_cmd = sub.add_parser(
+        "compile",
+        help="compile once: stats + DIMACS with c-p-show lines")
+    compile_cmd.add_argument("file")
+    compile_cmd.add_argument("--project", default=None,
+                             help="comma-separated projection variables")
+    compile_cmd.add_argument("--no-simplify", action="store_true",
+                             help="skip count-preserving simplification")
+    compile_cmd.add_argument("--out", default=None,
+                             help="write DIMACS here instead of stdout")
+    compile_cmd.add_argument("--quiet", action="store_true",
+                             help="stats only, no DIMACS on stdout")
+    compile_cmd.set_defaults(handler=_cmd_compile)
 
     generate = sub.add_parser("generate",
                               help="emit synthetic .smt2 benchmarks")

@@ -1,0 +1,221 @@
+"""The compiled counting problem: one immutable artifact per formula.
+
+A :class:`CompiledProblem` is everything a counting solver needs to come
+up without re-running preprocessing or bit-blasting:
+
+* a :class:`repro.sat.solver.SatSnapshot` — the CNF clause database plus
+  native XOR rows after the staged pipeline (preprocess -> bitblast ->
+  simplify);
+* the projection->bit map — for every projection variable, its SAT
+  literals LSB first, exactly as :meth:`SmtSolver.ensure_bits` produced
+  them (the hash families index into the flattened list, so the map is
+  part of the artifact's identity);
+* the LRA Boolean-abstraction atom table — (real atom term, SAT literal)
+  pairs the lazy DPLL(T) loop re-registers into a fresh
+  :class:`repro.smt.theories.lra.theory.LraTheory`;
+* theory-reconstruction metadata: the builder's constant-true literal
+  and the compile statistics.
+
+The artifact is immutable and process-local cheap to share; for the
+on-disk artifact store (:meth:`repro.engine.cache.ResultCache`) it
+round-trips through :meth:`to_payload`/:meth:`from_payload` when
+:attr:`persistable` (problems whose theory content was fully eliminated
+into the CNF — the atom table is empty; lazy-LRA problems carry live
+term objects and stay process-local).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.sat.solver import SatSnapshot
+from repro.smt.terms import Term, bv_var
+
+ARTIFACT_VERSION = 1
+
+
+@dataclass
+class CompileStats:
+    """Accounting for one run of the compile pipeline."""
+
+    vars: int = 0
+    clauses: int = 0
+    xors: int = 0
+    # pre-simplification sizes (equal to the above with --no-simplify)
+    raw_clauses: int = 0
+    raw_units: int = 0
+    # per-stage effect counters
+    units_fixed: int = 0
+    literals_substituted: int = 0
+    aux_eliminated: int = 0
+    clauses_removed: int = 0
+    clauses_added: int = 0
+    # projection-support minimisation (analysis stage)
+    support_total: int = 0
+    support_fixed: int = 0
+    support_free: int = 0
+    support_aliased: int = 0
+    stages: tuple[str, ...] = ()
+    seconds: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "vars": self.vars, "clauses": self.clauses, "xors": self.xors,
+            "raw_clauses": self.raw_clauses, "raw_units": self.raw_units,
+            "units_fixed": self.units_fixed,
+            "literals_substituted": self.literals_substituted,
+            "aux_eliminated": self.aux_eliminated,
+            "clauses_removed": self.clauses_removed,
+            "clauses_added": self.clauses_added,
+            "support_total": self.support_total,
+            "support_fixed": self.support_fixed,
+            "support_free": self.support_free,
+            "support_aliased": self.support_aliased,
+            "stages": list(self.stages), "seconds": self.seconds,
+        }
+
+
+@dataclass(frozen=True)
+class CompiledProblem:
+    """An immutable Problem->CNF compilation artifact.
+
+    ``projection`` and ``projection_bits`` are aligned: variable i's SAT
+    literals are ``projection_bits[i]``, LSB first.  ``support`` is the
+    minimised projection support — the bit positions (indices into
+    :attr:`flat_bits`) an external counter must still project onto after
+    dropping bits the simplifier proved fixed or aliased; internal
+    counters keep hashing the full ``flat_bits`` list so random draws
+    stay bit-identical with simplification on or off.
+    """
+
+    digest: str
+    snapshot: SatSnapshot
+    true_lit: int
+    projection: tuple[Term, ...]
+    projection_bits: tuple[tuple[int, ...], ...]
+    atoms: tuple[tuple[Term, int], ...] = ()
+    support: tuple[int, ...] = ()
+    simplified: bool = True
+    stats: CompileStats = field(default_factory=CompileStats)
+
+    # ------------------------------------------------------------------
+    @property
+    def flat_bits(self) -> list[int]:
+        """All projection literals, flattened in projection order — the
+        list the hash families index into."""
+        return [lit for bits in self.projection_bits for lit in bits]
+
+    @property
+    def num_vars(self) -> int:
+        return self.snapshot.num_vars
+
+    @property
+    def persistable(self) -> bool:
+        """True when the artifact can round-trip through JSON: no live
+        LRA atom terms (pure discrete problems after preprocessing)."""
+        return not self.atoms
+
+    def to_dimacs(self) -> str:
+        """The artifact as DIMACS CNF(+XOR) with ``c p show`` lines.
+
+        Root units are emitted as unit clauses; the show lines carry the
+        *minimised* projection support (:attr:`support`), so an external
+        model counter consuming ``pact compile`` output projects onto
+        exactly the bits whose values are not already determined.
+        """
+        from repro.sat.dimacs import write_dimacs
+        flat = self.flat_bits
+        show = sorted({abs(flat[position]) for position in self.support})
+        stats = self.stats
+        comments = [
+            f"pact compile artifact {self.digest[:16]}",
+            f"simplified={self.simplified} "
+            f"stages={','.join(stats.stages) or 'none'}",
+            f"projection: {len(flat)} bits over "
+            f"{len(self.projection)} variables; support "
+            f"{len(self.support)} bits "
+            f"(fixed={stats.support_fixed} "
+            f"aliased={stats.support_aliased} "
+            f"free={stats.support_free})",
+            "header counts CNF clauses + XOR rows "
+            "(x-lines, CryptoMiniSat style)",
+        ]
+        if self.atoms:
+            comments.append(
+                f"WARNING: {len(self.atoms)} lazy LRA atoms are NOT "
+                "encoded in this CNF; external counts over it "
+                "over-approximate the SMT count")
+        clauses = ([[lit] for lit in self.snapshot.units]
+                   + [list(clause) for clause in self.snapshot.clauses])
+        return write_dimacs(self.snapshot.num_vars, clauses,
+                            xors=[(list(variables), rhs)
+                                  for variables, rhs in self.snapshot.xors],
+                            show=show, comments=comments)
+
+    # ------------------------------------------------------------------
+    # on-disk round trip (the engine cache's artifact store)
+    # ------------------------------------------------------------------
+    def to_payload(self) -> dict:
+        """A JSON-serialisable image (requires :attr:`persistable`)."""
+        if not self.persistable:
+            raise ValueError(
+                "artifact with live LRA atoms cannot be persisted")
+        return {
+            "version": ARTIFACT_VERSION,
+            "digest": self.digest,
+            "true_lit": self.true_lit,
+            "num_vars": self.snapshot.num_vars,
+            "clauses": [list(c) for c in self.snapshot.clauses],
+            "units": list(self.snapshot.units),
+            "xors": [[list(variables), bool(rhs)]
+                     for variables, rhs in self.snapshot.xors],
+            "ok": self.snapshot.ok,
+            "projection": [[var.name, var.sort.width]
+                           for var in self.projection],
+            "projection_bits": [list(bits) for bits in self.projection_bits],
+            "support": list(self.support),
+            "simplified": self.simplified,
+            "stats": self.stats.as_dict(),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "CompiledProblem":
+        """Rebuild from :meth:`to_payload` output.
+
+        Projection variables are reconstructed by (name, width); terms
+        are hash-consed, so they compare equal to the parsed script's.
+        Raises ``KeyError``/``ValueError``/``TypeError`` on a corrupt or
+        foreign payload — callers treat that as a cache miss.
+        """
+        if payload.get("version") != ARTIFACT_VERSION:
+            raise ValueError("unknown artifact version")
+        snapshot = SatSnapshot(
+            num_vars=int(payload["num_vars"]),
+            clauses=tuple(tuple(int(lit) for lit in clause)
+                          for clause in payload["clauses"]),
+            units=tuple(int(lit) for lit in payload["units"]),
+            xors=tuple((tuple(int(v) for v in variables), bool(rhs))
+                       for variables, rhs in payload["xors"]),
+            ok=bool(payload.get("ok", True)))
+        projection = tuple(bv_var(name, int(width))
+                           for name, width in payload["projection"])
+        stats_data = dict(payload.get("stats", {}))
+        stats_data["stages"] = tuple(stats_data.get("stages", ()))
+        stats = CompileStats(**stats_data)
+        return cls(
+            digest=str(payload["digest"]), snapshot=snapshot,
+            true_lit=int(payload["true_lit"]), projection=projection,
+            projection_bits=tuple(tuple(int(lit) for lit in bits)
+                                  for bits in payload["projection_bits"]),
+            support=tuple(int(i) for i in payload.get("support", ())),
+            simplified=bool(payload.get("simplified", True)),
+            stats=stats)
+
+    def __repr__(self) -> str:
+        return (f"CompiledProblem({self.digest[:12]}, "
+                f"vars={self.snapshot.num_vars}, "
+                f"clauses={len(self.snapshot.clauses)}, "
+                f"xors={len(self.snapshot.xors)}, "
+                f"|S|={len(self.flat_bits)} bits, "
+                f"simplified={self.simplified})")

@@ -1,0 +1,138 @@
+"""The per-process compile memo: one compilation per (problem, params).
+
+Compilation (preprocess + bitblast + simplify) is the expensive prefix
+every counting workload shares — iterations, matrix slots, portfolio
+arms.  This module guarantees it runs **exactly once per (problem,
+params) per process**: a digest-keyed memo with per-key build locks, so
+concurrent threads racing for the same artifact serialise on one build
+instead of duplicating it.
+
+The orchestrator pre-seeds the memo with artifacts it already built
+(:func:`preseed_compile_memo`), so serial/thread workers — and forked
+process children — never compile at all; spawned process workers compile
+on first touch and reuse the artifact for every later task they run.
+
+``compile_counters`` backs the exactly-once acceptance tests: it counts
+actual pipeline builds per key (memo hits do not count).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+
+from repro.compile.artifact import CompiledProblem
+from repro.compile.pipeline import compile_problem
+
+__all__ = [
+    "canonical_digest", "compile_counters", "compiled_for",
+    "compile_digest", "peek_compiled", "preseed_compile_memo",
+    "reset_compile_memo",
+]
+
+# Artifacts are a few hundred KB at most; a long-lived worker serving
+# many distinct problems evicts oldest-first at the cap (dicts are
+# insertion-ordered) rather than growing forever — artifacts are
+# re-creatable, and suites larger than the cap must not thrash the
+# whole memo on every new key.
+_MEMO_CAP = 64
+
+_memo: dict[tuple, CompiledProblem] = {}
+_builds: dict[tuple, int] = {}
+_memo_lock = threading.Lock()
+_key_locks: dict[tuple, threading.Lock] = {}
+
+
+def compile_digest(script: str) -> str:
+    """The canonical artifact digest of a serialised problem."""
+    return hashlib.sha256(script.encode()).hexdigest()
+
+
+def canonical_digest(assertions, projection) -> str:
+    """The artifact digest of in-memory terms — THE one recipe every
+    layer shares (counters, ``Problem.compile``, the session's artifact
+    store, fan-out specs): the digest of the *logic-free* canonical
+    serialisation.  Keeping a single definition is load-bearing: if two
+    layers hashed different serialisations of the same problem, the
+    memo and the artifact store would silently stop matching."""
+    from repro.smt.printer import write_script
+    return compile_digest(write_script(list(assertions),
+                                       projection=list(projection)))
+
+
+def _key(digest: str, kind: str, simplify: bool, extra: tuple) -> tuple:
+    return (digest, kind, bool(simplify)) + tuple(extra)
+
+
+def _evict_to_cap(incoming: tuple) -> None:
+    """Make room for ``incoming``, oldest-first (caller holds the lock)."""
+    while len(_memo) >= _MEMO_CAP and incoming not in _memo:
+        _memo.pop(next(iter(_memo)))
+
+
+def compiled_for(assertions, projection, *, digest: str,
+                 kind: str = "pact", simplify: bool = True,
+                 extra: tuple = ()) -> CompiledProblem:
+    """The memoised compile front door.
+
+    ``digest`` identifies the serialised problem (script digest);
+    ``kind``/``extra`` distinguish derived formulas compiled from the
+    same script (CDM compiles the q-fold self-composition, so its key
+    carries ``("cdm", copies)``).  Exactly one pipeline run happens per
+    key per process, even under thread fan-out.
+    """
+    key = _key(digest, kind, simplify, extra)
+    with _memo_lock:
+        artifact = _memo.get(key)
+        if artifact is not None:
+            return artifact
+        lock = _key_locks.setdefault(key, threading.Lock())
+    with lock:
+        with _memo_lock:
+            artifact = _memo.get(key)
+        if artifact is not None:
+            return artifact
+        artifact = compile_problem(assertions, projection,
+                                   simplify=simplify, digest=digest)
+        with _memo_lock:
+            _evict_to_cap(key)
+            _memo[key] = artifact
+            _builds[key] = _builds.get(key, 0) + 1
+            _key_locks.pop(key, None)
+        return artifact
+
+
+def preseed_compile_memo(artifact: CompiledProblem, *,
+                         kind: str = "pact", extra: tuple = ()) -> None:
+    """Seed the memo with an artifact built (or loaded) elsewhere, so
+    in-process and forked workers skip the pipeline entirely."""
+    key = _key(artifact.digest, kind, artifact.simplified, extra)
+    with _memo_lock:
+        _evict_to_cap(key)
+        _memo.setdefault(key, artifact)
+
+
+def peek_compiled(digest: str, *, kind: str = "pact",
+                  simplify: bool = True,
+                  extra: tuple = ()) -> CompiledProblem | None:
+    """The memoised artifact if this process already has it, else None
+    (never triggers a build — the session's persist-after-count hook
+    uses this to avoid compiling just to cache)."""
+    with _memo_lock:
+        return _memo.get(_key(digest, kind, simplify, extra))
+
+
+def compile_counters() -> dict:
+    """Build accounting for the exactly-once tests: total pipeline runs
+    and the per-key build counts of this process."""
+    with _memo_lock:
+        return {"builds": sum(_builds.values()),
+                "per_key": dict(_builds), "entries": len(_memo)}
+
+
+def reset_compile_memo() -> None:
+    """Drop memo and counters (tests, and the A/B benchmark's cold legs)."""
+    with _memo_lock:
+        _memo.clear()
+        _builds.clear()
+        _key_locks.clear()

@@ -100,6 +100,31 @@ def compose_copies(assertions: list[Term], projection: list[Term],
     return composed, projections
 
 
+def build_cdm_solver(assertions: list[Term], projection: list[Term],
+                     copies: int, *, simplify: bool = True,
+                     script: str | None = None,
+                     digest: str | None = None):
+    """A counting solver over the q-fold self-composition, plus its
+    flattened per-copy projection list.
+
+    The composed formula is compiled once per (problem, q, simplify)
+    per process (see :mod:`repro.compile`); the memo key carries the
+    *original* problem's script digest plus ``("cdm", q)`` so pact and
+    CDM artifacts for the same script never collide.
+    """
+    from repro.core.pact import compile_counting_problem
+    if digest is None:
+        from repro.compile import canonical_digest, compile_digest
+        digest = (compile_digest(script) if script is not None
+                  else canonical_digest(assertions, projection))
+    composed, projections = compose_copies(assertions, projection, copies)
+    flat_projection = [var for group in projections for var in group]
+    artifact = compile_counting_problem(
+        composed, flat_projection, simplify=simplify, digest=digest,
+        kind="cdm", extra=(copies,))
+    return SmtSolver.from_compiled(artifact), flat_projection
+
+
 def _xor_hash_term(projection_vars: list[Term], rng) -> Term:
     """A Boolean XOR constraint over random projection bits, as a plain
     formula (no native engine — the CDM encoding)."""
@@ -168,7 +193,9 @@ def cdm_count(assertions, projection: list[Term], epsilon: float = 0.8,
               timeout: float | None = None,
               iteration_override: int | None = None,
               pool=None, deadline: Deadline | None = None,
-              incremental: bool = True) -> CountResult:
+              incremental: bool = True,
+              simplify: bool = True,
+              digest: str | None = None) -> CountResult:
     """Approximate projected counting with the CDM construction.
 
     ``pool`` is an optional :class:`repro.engine.pool.ExecutionPool`;
@@ -177,7 +204,9 @@ def cdm_count(assertions, projection: list[Term], epsilon: float = 0.8,
     with an external (possibly cancellable) one, like ``pact_count``'s.
     ``incremental`` mirrors :class:`repro.core.config.PactConfig`'s
     knob: False runs the rebuild-per-probe baseline (never changes
-    estimates).
+    estimates).  ``simplify`` toggles the compile pipeline's
+    count-preserving CNF simplification over the composed formula
+    (never changes estimates either; the A/B baseline mode).
     """
     if isinstance(assertions, Term):
         assertions = [assertions]
@@ -203,14 +232,10 @@ def cdm_count(assertions, projection: list[Term], epsilon: float = 0.8,
             family="cdm", detail=f"q={copies}", estimates=list(estimates))
 
     try:
-        composed, projections = compose_copies(assertions, projection,
-                                               copies)
-        flat_projection = [var for group in projections for var in group]
-        solver = SmtSolver()
-        solver.assert_all(composed)
+        solver, flat_projection = build_cdm_solver(
+            assertions, projection, copies, simplify=simplify,
+            digest=digest)
         solver.set_retention(incremental)
-        for var in flat_projection:
-            solver.ensure_bits(var)
 
         initial = saturating_count(solver, flat_projection, _PIVOT,
                                    deadline, calls)
@@ -227,7 +252,7 @@ def cdm_count(assertions, projection: list[Term], epsilon: float = 0.8,
                 delta=delta, family="cdm", seed=seed,
                 num_iterations=iterations, deadline=deadline,
                 calls=calls, estimates=estimates,
-                incremental=incremental)
+                incremental=incremental, simplify=simplify)
             if status is not None:
                 return finish(None, status=status)
         else:

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import CounterError
 
@@ -24,6 +24,11 @@ class PactConfig:
     each iteration's boundary search from the previous boundary.  It
     never changes estimates (they are pure functions of the hash index);
     ``False`` exists for A/B benchmarking and regression baselines.
+
+    ``simplify`` toggles the compile pipeline's count-preserving CNF
+    simplification (:mod:`repro.compile`).  Every stage preserves the
+    projected model count, so estimates are bit-identical either way;
+    ``False`` is the A/B baseline mode.
     """
 
     epsilon: float = 0.8
@@ -33,6 +38,7 @@ class PactConfig:
     timeout: float | None = None
     iteration_override: int | None = None
     incremental: bool = True
+    simplify: bool = True
 
     def __post_init__(self):
         if self.epsilon <= 0:

@@ -49,16 +49,43 @@ from repro.utils.rng import SeedSequence
 from repro.utils.stats import median
 
 
-def build_solver(assertions: list[Term],
-                 projection: list[Term]) -> tuple[SmtSolver, list[int]]:
-    """Assert the formula and blast the projection; returns the solver and
-    the flat projection-bit literals the hash families constrain."""
-    solver = SmtSolver()
-    solver.assert_all(assertions)
-    flat_bits: list[int] = []
-    for var in projection:
-        flat_bits.extend(solver.ensure_bits(var))
-    return solver, flat_bits
+def compile_counting_problem(assertions: list[Term],
+                             projection: list[Term], *,
+                             simplify: bool = True,
+                             script: str | None = None,
+                             digest: str | None = None,
+                             kind: str = "pact", extra: tuple = ()):
+    """Compile (formula, projection) once per process (memoised).
+
+    The memo (and artifact-store) key is ``digest`` when the caller
+    already has one (fan-out specs ship it), else the digest of
+    ``script``, else of the canonical serialisation printed here
+    (:func:`repro.compile.canonical_digest` — one shared recipe).
+    ``kind``/``extra`` distinguish derived formulas compiled under the
+    same problem (CDM's q-fold composition).  Returns a
+    :class:`repro.compile.CompiledProblem`.
+    """
+    from repro.compile import (
+        canonical_digest, compile_digest, compiled_for,
+    )
+    if digest is None:
+        digest = (compile_digest(script) if script is not None
+                  else canonical_digest(assertions, projection))
+    return compiled_for(assertions, projection, digest=digest,
+                        kind=kind, simplify=simplify, extra=extra)
+
+
+def build_solver(assertions: list[Term], projection: list[Term], *,
+                 simplify: bool = True, script: str | None = None,
+                 digest: str | None = None) -> tuple[SmtSolver, list[int]]:
+    """A counting solver plus the flat projection-bit literals the hash
+    families constrain — reconstructed from the compile-once artifact
+    (preprocessing and Tseitin blasting run at most once per (problem,
+    params) per process; see :mod:`repro.compile`)."""
+    artifact = compile_counting_problem(assertions, projection,
+                                        simplify=simplify, script=script,
+                                        digest=digest)
+    return SmtSolver.from_compiled(artifact), artifact.flat_bits
 
 
 def max_hash_index(projection: list[Term], family: str,
@@ -136,12 +163,15 @@ def iteration_estimate(solver: SmtSolver, projection: list[Term],
 def pact_count(assertions: list[Term], projection: list[Term],
                config: PactConfig,
                deadline: Deadline | None = None,
-               pool=None) -> CountResult:
+               pool=None, digest: str | None = None) -> CountResult:
     """Run pact on ``assertions`` with projection set ``projection``.
 
     ``pool`` is an optional :class:`repro.engine.pool.ExecutionPool`;
     when it is parallel the numIt iterations fan out across its workers
     (bit-identical to the serial run, see :func:`iteration_estimate`).
+    ``digest`` is an optional precomputed compile digest (the API layer
+    passes :attr:`repro.api.Problem.compile_key`) so the memo lookup
+    skips re-serialising the formula.
     """
     start = time.monotonic()
     if deadline is None:
@@ -174,7 +204,9 @@ def pact_count(assertions: list[Term], projection: list[Term],
             family=config.family, estimates=list(estimates))
 
     try:
-        solver, flat_bits = build_solver(assertions, projection)
+        solver, flat_bits = build_solver(assertions, projection,
+                                         simplify=config.simplify,
+                                         digest=digest)
         solver.set_retention(config.incremental)
 
         # Line 3-4: if the whole projected space is small, count exactly.
@@ -193,7 +225,8 @@ def pact_count(assertions: list[Term], projection: list[Term],
                 family=config.family, seed=config.seed,
                 num_iterations=num_iterations, deadline=deadline,
                 calls=calls, estimates=estimates,
-                incremental=config.incremental)
+                incremental=config.incremental,
+                simplify=config.simplify)
             if status is not None:
                 return finish(None, status=status)
         else:
@@ -263,7 +296,8 @@ def count_projected(assertions, projection, epsilon: float = 0.8,
                     delta: float = 0.2, family: str = "xor",
                     seed: int = 1, timeout: float | None = None,
                     iteration_override: int | None = None,
-                    pool=None, incremental: bool = True) -> CountResult:
+                    pool=None, incremental: bool = True,
+                    simplify: bool = True) -> CountResult:
     """The convenience front door: count with (epsilon, delta) guarantees.
 
     See :class:`repro.core.config.PactConfig` for parameter semantics;
@@ -274,6 +308,6 @@ def count_projected(assertions, projection, epsilon: float = 0.8,
     config = PactConfig(epsilon=epsilon, delta=delta, family=family,
                         seed=seed, timeout=timeout,
                         iteration_override=iteration_override,
-                        incremental=incremental)
+                        incremental=incremental, simplify=simplify)
     return pact_count(list(assertions), list(projection), config,
                       pool=pool)

@@ -18,11 +18,22 @@ On disk the cache is a single JSON document::
       }
     }
 
+plus an ``artifacts/`` directory of compiled-problem payloads
+(:meth:`ResultCache.put_artifact`), one JSON file per artifact digest —
+compiled artifacts are much larger than result rows, so they live beside
+the document, not inside it.
+
+``max_entries``/``max_artifacts`` bound both stores with
+least-recently-used eviction: result recency is tracked per entry
+(``used_at``, refreshed on every hit) and enforced at :meth:`flush`;
+artifact recency is the file's mtime, refreshed on read.  Eviction
+counts appear in :attr:`stats`.
+
 Writes are atomic (temp file + ``os.replace``) and the orchestrating
 process is the only writer — workers return results, the scheduler
 stores them — so no cross-process locking is needed.  A corrupt or
-foreign file is treated as empty rather than fatal: the cache is an
-accelerator, never a correctness dependency.
+foreign file (or a corrupt individual entry) is treated as empty rather
+than fatal: the cache is an accelerator, never a correctness dependency.
 """
 
 from __future__ import annotations
@@ -37,6 +48,8 @@ from typing import Mapping
 
 CACHE_VERSION = 1
 DEFAULT_FILENAME = "pact-cache.json"
+ARTIFACT_DIRNAME = "artifacts"
+DEFAULT_MAX_ARTIFACTS = 256
 
 
 def formula_fingerprint(assertions, projection,
@@ -63,14 +76,31 @@ def script_fingerprint(script: str, params: Mapping | None = None) -> str:
 
 
 class ResultCache:
-    """Fingerprint -> result payload store with hit/miss accounting."""
+    """Fingerprint -> result payload store with hit/miss accounting.
+
+    ``max_entries`` bounds the result document (LRU eviction at flush);
+    ``max_artifacts`` bounds the artifact directory (LRU by file mtime).
+    ``None`` means unbounded; result rows default to unbounded (the
+    pre-bound behaviour — they are tiny), while artifacts — "much
+    larger than result rows" — default to :data:`DEFAULT_MAX_ARTIFACTS`
+    since they are derived data, always re-creatable by a compile.
+    """
 
     def __init__(self, directory: str | os.PathLike,
-                 filename: str = DEFAULT_FILENAME):
+                 filename: str = DEFAULT_FILENAME,
+                 max_entries: int | None = None,
+                 max_artifacts: int | None = DEFAULT_MAX_ARTIFACTS):
         self.directory = Path(directory)
         self.path = self.directory / filename
+        self.artifact_dir = self.directory / ARTIFACT_DIRNAME
+        self.max_entries = max_entries
+        self.max_artifacts = max_artifacts
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self.artifact_hits = 0
+        self.artifact_misses = 0
+        self.artifact_evictions = 0
         self._entries: dict[str, dict] | None = None
         self._dirty = False
 
@@ -83,7 +113,14 @@ class ResultCache:
                 if (isinstance(document, dict)
                         and document.get("version") == CACHE_VERSION
                         and isinstance(document.get("entries"), dict)):
-                    self._entries = document["entries"]
+                    # Tolerate corrupt individual entries: a payload
+                    # that is not a mapping is dropped, not fatal.
+                    self._entries = {
+                        fingerprint: entry
+                        for fingerprint, entry in
+                        document["entries"].items()
+                        if isinstance(entry, dict)
+                    }
             except (OSError, ValueError):
                 pass  # missing or corrupt cache: start empty
         return self._entries
@@ -95,18 +132,44 @@ class ResultCache:
             self.misses += 1
             return None
         self.hits += 1
+        if self.max_entries is not None:
+            # Refresh recency for the LRU bound; persisted so recency
+            # survives across runs.  Unbounded caches skip the stamp so
+            # an all-hit run stays read-only (no document rewrite).
+            entry["used_at"] = time.time()
+            self._dirty = True
         return dict(entry)
 
     def put(self, fingerprint: str, payload: Mapping) -> None:
         record = dict(payload)
-        record.setdefault("saved_at", time.time())
+        now = time.time()
+        record.setdefault("saved_at", now)
+        record["used_at"] = now
         self._load()[fingerprint] = record
         self._dirty = True
 
+    def _evict_over_bound(self) -> None:
+        if self.max_entries is None:
+            return
+        entries = self._load()
+        excess = len(entries) - self.max_entries
+        if excess <= 0:
+            return
+        by_recency = sorted(
+            entries,
+            key=lambda f: (entries[f].get("used_at")
+                           or entries[f].get("saved_at") or 0.0))
+        for fingerprint in by_recency[:excess]:
+            del entries[fingerprint]
+            self.evictions += 1
+        self._dirty = True
+
     def flush(self) -> None:
-        """Atomically persist the cache if anything changed."""
+        """Atomically persist the cache if anything changed, evicting
+        least-recently-used entries beyond ``max_entries`` first."""
         if not self._dirty:
             return
+        self._evict_over_bound()
         self.directory.mkdir(parents=True, exist_ok=True)
         document = {"version": CACHE_VERSION, "entries": self._load()}
         handle, temp_path = tempfile.mkstemp(
@@ -124,6 +187,77 @@ class ResultCache:
         self._dirty = False
 
     # ------------------------------------------------------------------
+    # compiled artifacts (one file per digest, LRU by mtime)
+    # ------------------------------------------------------------------
+    def _artifact_path(self, digest: str, simplified: bool) -> Path:
+        mode = "s1" if simplified else "s0"
+        return self.artifact_dir / f"{digest}-{mode}.json"
+
+    def get_artifact(self, digest: str,
+                     simplified: bool = True) -> dict | None:
+        """Load a compiled-artifact payload (None on miss/corruption)."""
+        path = self._artifact_path(digest, simplified)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.artifact_misses += 1
+            return None
+        if not isinstance(payload, dict):
+            self.artifact_misses += 1
+            return None
+        try:
+            os.utime(path)  # refresh LRU recency
+        except OSError:
+            pass
+        self.artifact_hits += 1
+        return payload
+
+    def has_artifact(self, digest: str, simplified: bool = True) -> bool:
+        """Existence check without touching hit/miss accounting."""
+        return self._artifact_path(digest, simplified).exists()
+
+    def put_artifact(self, digest: str, payload: Mapping,
+                     simplified: bool = True) -> None:
+        """Persist a compiled-artifact payload (atomic, then LRU-trim)."""
+        self.artifact_dir.mkdir(parents=True, exist_ok=True)
+        handle, temp_path = tempfile.mkstemp(
+            dir=self.artifact_dir, prefix=".artifact-", suffix=".tmp")
+        try:
+            with os.fdopen(handle, "w") as stream:
+                json.dump(dict(payload), stream)
+            os.replace(temp_path,
+                       self._artifact_path(digest, simplified))
+        except BaseException:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            raise
+        self._trim_artifacts()
+
+    def _trim_artifacts(self) -> None:
+        if self.max_artifacts is None:
+            return
+        try:
+            files = [path for path in self.artifact_dir.glob("*.json")]
+        except OSError:
+            return
+        excess = len(files) - self.max_artifacts
+        if excess <= 0:
+            return
+        def mtime(path):
+            try:
+                return path.stat().st_mtime
+            except OSError:
+                return 0.0
+        for path in sorted(files, key=mtime)[:excess]:
+            try:
+                path.unlink()
+                self.artifact_evictions += 1
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
     def __len__(self) -> int:
         return len(self._load())
 
@@ -136,8 +270,12 @@ class ResultCache:
     @property
     def stats(self) -> dict:
         return {"hits": self.hits, "misses": self.misses,
-                "entries": len(self)}
+                "entries": len(self), "evictions": self.evictions,
+                "artifact_hits": self.artifact_hits,
+                "artifact_misses": self.artifact_misses,
+                "artifact_evictions": self.artifact_evictions}
 
     def __repr__(self) -> str:
         return (f"ResultCache({self.path}, entries={len(self)}, "
-                f"hits={self.hits}, misses={self.misses})")
+                f"hits={self.hits}, misses={self.misses}, "
+                f"evictions={self.evictions})")

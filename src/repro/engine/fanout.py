@@ -4,15 +4,21 @@ Both counters take a median over numIt independent iterations
 (Algorithm 1 line 15) — embarrassingly parallel once a single iteration
 is a self-contained unit of work.  An :class:`IterationSpec` carries the
 problem in its *serialised* SMT-LIB form (terms are hash-consed and
-interned per process, so shipping the script text and re-parsing inside
-the worker is the safe way to cross a process boundary); every random
-draw of iteration ``i`` derives from ``SeedSequence(seed, ...,
-f"iteration{i}")``, so the worker reconstructs exactly the serial run's
-randomness and the parallel median is bit-identical to the serial one.
+interned per process, so shipping the script text is the safe way to
+cross a process boundary) **plus its artifact digest**: the worker keys
+the per-process compile memo (:mod:`repro.compile.memo`) on the digest,
+so preprocessing + bit-blasting run at most once per (problem, params)
+per process and every later iteration clones the compiled snapshot —
+the compiled artifact, not the re-parsed script, is the unit of
+cross-process transfer.  Every random draw of iteration ``i`` derives
+from ``SeedSequence(seed, ..., f"iteration{i}")``, so the worker
+reconstructs exactly the serial run's randomness and the parallel
+median is bit-identical to the serial one.
 
-Workers memoise parsing per process keyed by script digest; the
-orchestrator pre-seeds the memo with its own term objects, so the serial
-and thread backends (and forked process children) never re-parse at all.
+Workers memoise parsing per process keyed by that digest too; the
+orchestrator pre-seeds both memos with its own objects, so the serial
+and thread backends (and forked process children) never re-parse or
+re-compile at all.
 
 Workers also keep **per-worker warm-start chains**: the boundary found by
 the last iteration a worker ran (keyed by problem digest and counting
@@ -25,11 +31,11 @@ to serial ones.
 
 from __future__ import annotations
 
-import hashlib
 import math
 import time
 from dataclasses import dataclass
 
+from repro.compile.memo import compile_digest as _digest
 from repro.engine.pool import Task
 from repro.status import Status
 
@@ -47,7 +53,13 @@ class IterationSpec:
     the remaining fields are the counting parameters an iteration needs.
     ``incremental`` mirrors :class:`repro.core.config.PactConfig` — when
     False, workers skip warm-start chains and learnt retention (the A/B
-    baseline mode).
+    baseline mode); ``simplify`` selects the compile pipeline's
+    count-preserving simplification (off = the A/B baseline).
+    ``digest`` is the script's artifact digest, computed once by
+    :func:`make_spec` and shipped with the spec: workers key the
+    per-process compile memo (and the parse memo) on it directly, so
+    the compiled artifact — not the re-parsed script — is the unit of
+    cross-process transfer.
     """
 
     algorithm: str
@@ -57,6 +69,11 @@ class IterationSpec:
     family: str
     seed: int
     incremental: bool = True
+    simplify: bool = True
+    digest: str = ""
+
+    def artifact_digest(self) -> str:
+        return self.digest or _digest(self.script)
 
 
 # Per-process parse memo: script digest -> (assertions, projection).
@@ -73,18 +90,14 @@ _warm_starts: dict[tuple, int] = {}
 
 
 def _warm_key(spec: IterationSpec) -> tuple:
-    return (_digest(spec.script), spec.algorithm, spec.family, spec.seed,
-            spec.epsilon, spec.delta)
+    return (spec.artifact_digest(), spec.algorithm, spec.family,
+            spec.seed, spec.epsilon, spec.delta)
 
 
 def _remember_warm(key: tuple, boundary: int) -> None:
     if len(_warm_starts) >= _WARM_CAP and key not in _warm_starts:
         _warm_starts.clear()
     _warm_starts[key] = boundary
-
-
-def _digest(script: str) -> str:
-    return hashlib.sha256(script.encode()).hexdigest()
 
 
 def _parsed(script: str) -> tuple[list, list]:
@@ -112,22 +125,26 @@ def preseed_parse_memo(script: str, assertions, projection) -> None:
 
 def make_spec(algorithm: str, assertions, projection, *, epsilon: float,
               delta: float, family: str, seed: int,
-              incremental: bool = True) -> IterationSpec:
+              incremental: bool = True,
+              simplify: bool = True) -> IterationSpec:
     """Build a spec from in-memory terms, pre-seeding the parse memo so
-    in-process workers reuse the original term objects."""
+    in-process workers reuse the original term objects.  The artifact
+    digest is computed here, once, and travels with the spec."""
     from repro.smt.printer import write_script
     script = write_script(list(assertions), projection=list(projection))
     preseed_parse_memo(script, assertions, projection)
     return IterationSpec(algorithm=algorithm, script=script,
                          epsilon=epsilon, delta=delta, family=family,
-                         seed=seed, incremental=incremental)
+                         seed=seed, incremental=incremental,
+                         simplify=simplify, digest=_digest(script))
 
 
 def iteration_tasks(algorithm: str, assertions, projection, *,
                     epsilon: float, delta: float, family: str, seed: int,
                     num_iterations: int,
                     deadline_at: float | None = None,
-                    incremental: bool = True) -> list[Task]:
+                    incremental: bool = True,
+                    simplify: bool = True) -> list[Task]:
     """One :class:`Task` per iteration, keyed by iteration index.
 
     ``deadline_at`` is the run's absolute monotonic deadline: the whole
@@ -136,7 +153,7 @@ def iteration_tasks(algorithm: str, assertions, projection, *,
     """
     spec = make_spec(algorithm, assertions, projection, epsilon=epsilon,
                      delta=delta, family=family, seed=seed,
-                     incremental=incremental)
+                     incremental=incremental, simplify=simplify)
     return [Task(key=index, fn=_iteration_task, args=(spec, index),
                  deadline_at=deadline_at)
             for index in range(num_iterations)]
@@ -146,7 +163,8 @@ def fan_out_iterations(pool, algorithm: str, assertions, projection, *,
                        epsilon: float, delta: float, family: str,
                        seed: int, num_iterations: int, deadline, calls,
                        estimates: list,
-                       incremental: bool = True) -> str | None:
+                       incremental: bool = True,
+                       simplify: bool = True) -> str | None:
     """Run a counter's iterations across ``pool``, filling ``estimates``
     in iteration order and aggregating oracle calls into ``calls``.
 
@@ -160,7 +178,8 @@ def fan_out_iterations(pool, algorithm: str, assertions, projection, *,
     tasks = iteration_tasks(
         algorithm, assertions, projection, epsilon=epsilon, delta=delta,
         family=family, seed=seed, num_iterations=num_iterations,
-        deadline_at=deadline_at, incremental=incremental)
+        deadline_at=deadline_at, incremental=incremental,
+        simplify=simplify)
     status = None
     for result in pool.run(tasks):
         if result.ok:
@@ -220,10 +239,13 @@ def _pact_iteration(assertions, projection, spec, deadline, calls,
 
     config = PactConfig(epsilon=spec.epsilon, delta=spec.delta,
                         family=spec.family, seed=spec.seed,
-                        incremental=spec.incremental)
+                        incremental=spec.incremental,
+                        simplify=spec.simplify)
     thresh, _, slice_width = get_constants(
         config.epsilon, config.delta, config.family)
-    solver, flat_bits = build_solver(assertions, projection)
+    solver, flat_bits = build_solver(assertions, projection,
+                                     simplify=config.simplify,
+                                     digest=spec.artifact_digest())
     solver.set_retention(config.incremental)
     max_index = max_hash_index(projection, config.family, slice_width)
     key = _warm_key(spec)
@@ -239,19 +261,15 @@ def _pact_iteration(assertions, projection, spec, deadline, calls,
 def _cdm_iteration(assertions, projection, spec, deadline, calls,
                    iteration_index: int) -> int:
     from repro.core.cdm import (
-        cdm_iteration_estimate, compose_copies, copy_count,
+        build_cdm_solver, cdm_iteration_estimate, copy_count,
     )
     from repro.core.slicing import total_bits
-    from repro.smt.solver import SmtSolver
 
     copies = copy_count(spec.epsilon)
-    composed, projections = compose_copies(assertions, projection, copies)
-    flat_projection = [var for group in projections for var in group]
-    solver = SmtSolver()
-    solver.assert_all(composed)
+    solver, flat_projection = build_cdm_solver(
+        assertions, projection, copies, simplify=spec.simplify,
+        digest=spec.artifact_digest())
     solver.set_retention(spec.incremental)
-    for var in flat_projection:
-        solver.ensure_bits(var)
     max_index = total_bits(flat_projection)
     key = _warm_key(spec)
     warm = _warm_starts.get(key, 1) if spec.incremental else 1

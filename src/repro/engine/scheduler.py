@@ -63,13 +63,13 @@ def slot_fingerprint(instance: Instance, configuration: str,
                      preset: Preset) -> str:
     """Cache key: formula + projection + everything that changes the
     answer or the budget."""
-    from repro.api.problem import key_incremental_mode
-    params = key_incremental_mode(
+    from repro.api.problem import key_solver_modes
+    params = key_solver_modes(
         {"configuration": configuration, "epsilon": preset.epsilon,
          "delta": preset.delta, "seed": preset.base_seed,
          "timeout": preset.timeout,
          "iterations": preset.iteration_override},
-        preset.incremental)
+        incremental=preset.incremental, simplify=preset.simplify)
     return formula_fingerprint(instance.assertions, instance.projection,
                                params)
 

@@ -15,7 +15,6 @@ reproduces.
 
 from __future__ import annotations
 
-from repro.benchgen.spec import Instance
 from repro.benchgen.suite import accuracy_pool
 from repro.harness.presets import Preset
 from repro.harness.report import ascii_plot, format_table, to_csv

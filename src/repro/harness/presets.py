@@ -27,6 +27,10 @@ class Preset:
     # retention); estimates are identical either way — False runs the
     # whole matrix in rebuild-baseline mode for A/B measurements.
     incremental: bool = True
+    # the compile pipeline's count-preserving CNF simplification;
+    # estimates are identical either way — False runs the whole matrix
+    # on unsimplified clause databases for A/B measurements.
+    simplify: bool = True
 
     @classmethod
     def paper(cls) -> "Preset":

@@ -74,7 +74,7 @@ def preset_request(configuration: str, preset: Preset) -> CountRequest:
         counter=configuration, epsilon=preset.epsilon, delta=preset.delta,
         seed=preset.base_seed, timeout=preset.timeout,
         iteration_override=preset.iteration_override,
-        incremental=preset.incremental)
+        incremental=preset.incremental, simplify=preset.simplify)
 
 
 def record_of(response: CountResponse, configuration: str,

@@ -43,6 +43,51 @@ _ACTIVITY_RESCALE = 1e100
 _DEADLINE_CHECK_INTERVAL = 64  # conflicts between deadline polls
 
 
+class SatSnapshot:
+    """An immutable image of a root-frame solver state.
+
+    Captured by :meth:`SatSolver.snapshot` and restored by
+    :meth:`SatSolver.clone_from`: the variable count, the root clause
+    database, the level-0 trail (units) and the native XOR rows.  Learnt
+    clauses are *not* part of the image — a snapshot identifies a
+    formula, not a search state — so cloning is cheap and deterministic.
+    The compile pipeline (:mod:`repro.compile`) stores one of these per
+    compiled problem and seeds every iteration's solver from it instead
+    of re-running preprocessing + bit-blasting.
+    """
+
+    __slots__ = ("num_vars", "clauses", "units", "xors", "ok")
+
+    def __init__(self, num_vars: int,
+                 clauses: tuple[tuple[int, ...], ...],
+                 units: tuple[int, ...],
+                 xors: tuple[tuple[tuple[int, ...], bool], ...],
+                 ok: bool = True):
+        self.num_vars = num_vars
+        self.clauses = clauses
+        self.units = units
+        self.xors = xors
+        self.ok = ok
+
+    def __getstate__(self):
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __setstate__(self, state):
+        for name, value in state.items():
+            setattr(self, name, value)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, SatSnapshot):
+            return NotImplemented
+        return all(getattr(self, name) == getattr(other, name)
+                   for name in self.__slots__)
+
+    def __repr__(self) -> str:
+        return (f"SatSnapshot(vars={self.num_vars}, "
+                f"clauses={len(self.clauses)}, units={len(self.units)}, "
+                f"xors={len(self.xors)}, ok={self.ok})")
+
+
 class _Frame:
     """Bookkeeping snapshot for push/pop."""
 
@@ -260,6 +305,58 @@ class SatSolver:
     @property
     def frame_depth(self) -> int:
         return len(self._frames)
+
+    # ------------------------------------------------------------------
+    # snapshots (the compile pipeline's clause-DB transfer)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> SatSnapshot:
+        """Capture the root formula as an immutable :class:`SatSnapshot`.
+
+        Only legal at frame depth 0 (the compile pipeline snapshots right
+        after bit-blasting, before any hash or blocking frame opens).
+        Backtracks to decision level 0 first; learnt clauses are left out
+        by design (see :class:`SatSnapshot`).
+        """
+        if self._frames:
+            raise RuntimeError(
+                "snapshot() requires frame depth 0 "
+                f"(currently {len(self._frames)})")
+        self._backtrack(0)
+        return SatSnapshot(
+            num_vars=self.num_vars(),
+            clauses=tuple(tuple(clause.lits) for clause in self._clauses
+                          if not clause.deleted),
+            units=tuple(self._trail),
+            xors=tuple((tuple(row.variables()), bool(row.rhs))
+                       for row in self.xor.rows),
+            ok=self._ok)
+
+    def clone_from(self, snap: SatSnapshot) -> "SatSolver":
+        """Load ``snap`` into this (pristine) solver and return it.
+
+        Replays the image through the normal construction path —
+        ``new_vars``, root units, clauses, XOR rows — so watches, masks
+        and propagation state are rebuilt consistently.  Much cheaper
+        than re-running preprocessing + Tseitin blasting: the work is
+        linear in the clause database.
+        """
+        if self.num_vars() or self._clauses or self._frames or self._trail:
+            raise RuntimeError("clone_from() requires a pristine solver")
+        self.new_vars(snap.num_vars)
+        for lit in snap.units:
+            self.add_clause([lit])
+        for clause in snap.clauses:
+            self.add_clause(clause)
+        for variables, rhs in snap.xors:
+            self.add_xor(list(variables), rhs)
+        if not snap.ok:
+            self._ok = False
+        return self
+
+    @classmethod
+    def from_snapshot(cls, snap: SatSnapshot) -> "SatSolver":
+        """A fresh solver loaded from ``snap`` (see :meth:`clone_from`)."""
+        return cls().clone_from(snap)
 
     # ------------------------------------------------------------------
     # assignment trail

@@ -16,12 +16,19 @@ from repro.sat.solver import SatSolver
 class CnfBuilder:
     """Structural-hashing Tseitin builder bound to a SatSolver."""
 
-    def __init__(self, solver: SatSolver):
+    def __init__(self, solver: SatSolver, true_lit: int | None = None):
+        """Bind to ``solver``; ``true_lit`` names an *existing* variable
+        already forced true at the root (the compile pipeline's
+        reconstruction path, where the solver is cloned from a snapshot
+        that contains the constant variable and its unit clause).  When
+        omitted, a dedicated constant variable is allocated and forced.
+        """
         self.solver = solver
-        true_var = solver.new_var()
-        solver.add_clause([true_var])
-        self.true_lit = true_var
-        self.false_lit = -true_var
+        if true_lit is None:
+            true_lit = solver.new_var()
+            solver.add_clause([true_lit])
+        self.true_lit = true_lit
+        self.false_lit = -true_lit
         # one gate cache per open frame; lookups scan top-down
         self._caches: list[dict] = [{}]
 

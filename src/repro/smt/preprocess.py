@@ -17,7 +17,6 @@ exactly what the bit-blaster accepts.  All registries are frame-aware.
 
 from __future__ import annotations
 
-from repro.errors import UnsupportedFeatureError
 from repro.smt.ops import Op
 from repro.smt.rewriter import rewrite
 from repro.smt.terms import (

@@ -46,6 +46,43 @@ class SmtSolver:
         self._real_model: dict[Term, object] = {}
         self.stats = {"checks": 0, "theory_rounds": 0}
 
+    @classmethod
+    def from_compiled(cls, compiled) -> "SmtSolver":
+        """A counting solver seeded from a
+        :class:`repro.compile.artifact.CompiledProblem`.
+
+        The SAT core is cloned from the artifact's clause-DB snapshot
+        (linear work — no preprocessing, no Tseitin walk), the blaster's
+        root memo is pre-seeded with the projection->bit map (so
+        ``ensure_bits`` and hash terms over projection variables reuse
+        the compiled literals), and the LRA atom table is re-registered
+        for the lazy DPLL(T) loop.
+
+        The result is a *counting* solver: ``check``/``push``/``pop``,
+        hash and blocking-clause assertion, and ``bv_value`` over
+        projection variables all work; :meth:`model` reconstruction of
+        non-projection theory variables is not available (the original
+        assertion stack is not part of the artifact).
+        """
+        solver = cls.__new__(cls)
+        solver.sat = SatSolver()
+        solver.sat.clone_from(compiled.snapshot)
+        solver.builder = CnfBuilder(solver.sat,
+                                    true_lit=compiled.true_lit)
+        solver.blaster = BitBlaster(solver.builder)
+        root_memo = solver.blaster._memo_stack[0]
+        for var, bits in zip(compiled.projection,
+                             compiled.projection_bits):
+            root_memo[var] = list(bits)
+        solver.preprocessor = Preprocessor()
+        solver.lra = LraTheory()
+        for atom, literal in compiled.atoms:
+            solver.lra.register(atom, literal)
+        solver._assertion_stack = [[]]
+        solver._real_model = {}
+        solver.stats = {"checks": 0, "theory_rounds": 0}
+        return solver
+
     # ------------------------------------------------------------------
     # assertions and frames
     # ------------------------------------------------------------------

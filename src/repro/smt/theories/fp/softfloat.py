@@ -16,7 +16,6 @@ round-to-nearest-even.  This avoids double rounding entirely.
 
 from __future__ import annotations
 
-import math
 import struct
 from fractions import Fraction
 

@@ -233,3 +233,53 @@ class TestPortfolio:
         assert outcome.solved
         assert len(outcome.entries) == len(self.COUNTERS)
         assert outcome.response.estimate is not None
+
+
+class TestArtifactStore:
+    def test_artifact_persisted_and_preloaded(self, tmp_path):
+        from repro.compile import compile_counters, reset_compile_memo
+        from repro.smt.terms import bv_ult, bv_val, bv_var
+
+        x = bv_var("ss_artifact", 8)
+        problem = Problem.from_terms([bv_ult(x, bv_val(150, 8))], [x])
+        reset_compile_memo()
+        try:
+            with Session(cache_dir=tmp_path) as session:
+                first = session.count(problem, CountRequest(
+                    counter="pact:xor", seed=5, iteration_override=2))
+            assert first.solved
+            assert list((tmp_path / "artifacts").glob("*-s1.json"))
+            assert compile_counters()["builds"] == 1
+
+            # A "cold process": memo wiped, result cache missed (new
+            # seed) — the artifact store must satisfy the compile.
+            reset_compile_memo()
+            with Session(cache_dir=tmp_path) as session:
+                second = session.count(problem, CountRequest(
+                    counter="pact:xor", seed=6, iteration_override=2))
+            assert second.solved and not second.cached
+            assert compile_counters()["builds"] == 0
+        finally:
+            reset_compile_memo()
+
+    def test_corrupt_artifact_recompiles(self, tmp_path):
+        from repro.compile import reset_compile_memo
+        from repro.smt.terms import bv_ult, bv_val, bv_var
+
+        x = bv_var("ss_corrupt", 8)
+        problem = Problem.from_terms([bv_ult(x, bv_val(99, 8))], [x])
+        reset_compile_memo()
+        try:
+            with Session(cache_dir=tmp_path) as session:
+                assert session.count(problem, CountRequest(
+                    counter="pact:xor", seed=5,
+                    iteration_override=2)).solved
+            for path in (tmp_path / "artifacts").glob("*.json"):
+                path.write_text("{broken")
+            reset_compile_memo()
+            with Session(cache_dir=tmp_path) as session:
+                response = session.count(problem, CountRequest(
+                    counter="pact:xor", seed=7, iteration_override=2))
+            assert response.solved
+        finally:
+            reset_compile_memo()

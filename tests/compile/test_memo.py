@@ -1,0 +1,117 @@
+"""The per-process compile memo: compilation runs exactly once per
+(problem, params) per process — serially, under a thread race, under
+Session thread fan-out, and per worker under the process backend."""
+
+import threading
+
+import pytest
+
+from repro.api import CountRequest, Problem, Session
+from repro.compile import (
+    compile_counters, compile_digest, compiled_for, peek_compiled,
+    preseed_compile_memo, reset_compile_memo,
+)
+from repro.engine.fanout import make_spec, run_iteration
+from repro.engine.pool import ExecutionPool
+from repro.smt.terms import bv_ult, bv_val, bv_var
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memo():
+    reset_compile_memo()
+    yield
+    reset_compile_memo()
+
+
+def _formula(name, width=8, bound=200):
+    x = bv_var(name, width)
+    return [bv_ult(x, bv_val(bound, width))], [x]
+
+
+class TestExactlyOnce:
+    def test_repeated_calls_build_once(self):
+        assertions, projection = _formula("memo_a")
+        for _ in range(5):
+            compiled_for(assertions, projection, digest="d1")
+        counters = compile_counters()
+        assert counters["builds"] == 1
+        assert counters["per_key"] == {("d1", "pact", True): 1}
+
+    def test_distinct_params_build_separately(self):
+        assertions, projection = _formula("memo_b")
+        compiled_for(assertions, projection, digest="d1")
+        compiled_for(assertions, projection, digest="d1", simplify=False)
+        compiled_for(assertions, projection, digest="d1", kind="cdm",
+                     extra=(2,))
+        assert compile_counters()["builds"] == 3
+
+    def test_thread_race_builds_once(self):
+        assertions, projection = _formula("memo_c", width=10)
+        barrier = threading.Barrier(8)
+        results = []
+
+        def racer():
+            barrier.wait()
+            results.append(compiled_for(assertions, projection,
+                                        digest="race"))
+
+        threads = [threading.Thread(target=racer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert compile_counters()["builds"] == 1
+        assert all(artifact is results[0] for artifact in results)
+
+    def test_preseed_counts_as_no_build(self):
+        assertions, projection = _formula("memo_d")
+        artifact = compiled_for(assertions, projection, digest="seed1")
+        reset_compile_memo()
+        preseed_compile_memo(artifact)
+        assert peek_compiled("seed1") is artifact
+        again = compiled_for(assertions, projection, digest="seed1")
+        assert again is artifact
+        assert compile_counters()["builds"] == 0
+
+
+class TestFanOutExactlyOnce:
+    def test_session_thread_fanout_compiles_once(self):
+        assertions, projection = _formula("memo_fan", width=12, bound=3000)
+        problem = Problem.from_terms(assertions, projection)
+        with Session(jobs=4, backend="thread") as session:
+            response = session.count(
+                problem, CountRequest(counter="pact:xor", seed=3,
+                                      iteration_override=6))
+        assert response.solved
+        counters = compile_counters()
+        pact_keys = {key: count for key, count in
+                     counters["per_key"].items() if key[1] == "pact"}
+        assert len(pact_keys) == 1
+        assert set(pact_keys.values()) == {1}
+
+    def test_process_workers_compile_once_each(self):
+        # Each worker runs several iterations of the same spec; its
+        # process-local memo must record at most one build for the key.
+        assertions, projection = _formula("memo_proc", width=12,
+                                          bound=3000)
+        spec = make_spec("pact", assertions, projection, epsilon=0.8,
+                         delta=0.2, family="xor", seed=3)
+        pool = ExecutionPool(jobs=2, backend="process")
+        results = pool.map(_iterations_then_builds,
+                           [(spec,), (spec,), (spec,), (spec,)],
+                           budget=120)
+        assert all(result.ok for result in results)
+        for result in results:
+            estimates, builds = result.value
+            assert len(estimates) == 2
+            assert builds <= 1  # 0 when forked with a pre-seeded memo
+
+
+def _iterations_then_builds(spec, budget=None):
+    """Worker body: run two iterations, report this process's builds."""
+    estimates = [run_iteration(spec, index, budget=budget)
+                 for index in range(2)]
+    per_key = compile_counters()["per_key"]
+    builds = sum(count for key, count in per_key.items()
+                 if key[0] == spec.artifact_digest())
+    return estimates, builds

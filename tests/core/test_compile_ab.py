@@ -1,0 +1,108 @@
+"""The compile pipeline's determinism contract: estimates are
+bit-identical with count-preserving simplification on vs off — for every
+hash family and the CDM baseline, through every configuration layer the
+knob threads (PactConfig, CountRequest, Preset, IterationSpec)."""
+
+import pytest
+
+from repro.api import CountRequest, Problem, Session
+from repro.core import PactConfig, cdm_count, pact_count
+from repro.engine.fanout import make_spec, run_iteration
+from repro.engine.scheduler import slot_fingerprint
+from repro.harness.presets import Preset
+from repro.smt import bv_ult, bv_val, bv_var
+
+FAMILIES = ("xor", "prime", "shift")
+
+
+def _dense_formula(width, name):
+    x = bv_var(name, width)
+    bound = (1 << width) - (1 << (width - 3))
+    return [bv_ult(x, bv_val(bound, width))], [x]
+
+
+class TestPactConfigKnob:
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_estimates_bit_identical_per_family(self, family):
+        formula, projection = _dense_formula(10, f"cab_{family}")
+        results = {}
+        for simplify in (True, False):
+            config = PactConfig(family=family, seed=11,
+                                iteration_override=4, simplify=simplify)
+            results[simplify] = pact_count(formula, projection, config)
+        assert results[True].solved and results[False].solved
+        assert results[True].estimates == results[False].estimates
+        assert results[True].estimate == results[False].estimate
+
+    def test_cdm_estimates_bit_identical(self):
+        # epsilon=2 keeps the self-composition at q=2 copies so the A/B
+        # stays fast; the knob path is identical at any scale.
+        formula, projection = _dense_formula(6, "cab_cdm")
+        on = cdm_count(formula, projection, epsilon=2.0, seed=11,
+                       iteration_override=2, simplify=True)
+        off = cdm_count(formula, projection, epsilon=2.0, seed=11,
+                        iteration_override=2, simplify=False)
+        assert on.solved and off.solved
+        assert on.estimates == off.estimates
+
+
+class TestCountRequestKnob:
+    def test_session_counts_bit_identical(self):
+        formula, projection = _dense_formula(10, "cab_req")
+        problem = Problem.from_terms(formula, projection)
+        with Session() as session:
+            on = session.count(problem, CountRequest(
+                counter="pact:xor", seed=11, iteration_override=4))
+            off = session.count(problem, CountRequest(
+                counter="pact:xor", seed=11, iteration_override=4,
+                simplify=False))
+        assert on.solved and off.solved
+        assert on.estimates == off.estimates
+
+    def test_cache_params_key_baseline_mode_only(self):
+        default = CountRequest(counter="pact:xor")
+        baseline = default.replace(simplify=False)
+        assert "simplify" not in default.cache_params()
+        assert baseline.cache_params()["simplify"] is False
+
+
+class TestPresetKnob:
+    def test_slot_fingerprints_distinguish_modes(self):
+        from repro.benchgen.generators import GENERATORS
+        instance = GENERATORS["QF_ABV"](5, width=4)
+        default = Preset.smoke()
+        baseline = Preset(name="smoke-nosimp", instances_per_logic=3,
+                          timeout=3.0, iteration_override=3,
+                          min_count=50, sat_budget=1.0, simplify=False)
+        assert (slot_fingerprint(instance, "pact_xor", default)
+                != slot_fingerprint(instance, "pact_xor", baseline))
+        # and the default fingerprint is unchanged from pre-knob caches
+        legacy = Preset.smoke()
+        assert (slot_fingerprint(instance, "pact_xor", default)
+                == slot_fingerprint(instance, "pact_xor", legacy))
+
+
+class TestIterationSpecKnob:
+    def test_worker_iterations_bit_identical(self):
+        formula, projection = _dense_formula(10, "cab_spec")
+        estimates = {}
+        for simplify in (True, False):
+            spec = make_spec("pact", formula, projection, epsilon=0.8,
+                             delta=0.2, family="xor", seed=11,
+                             simplify=simplify)
+            assert spec.simplify is simplify
+            assert spec.digest
+            estimates[simplify] = [run_iteration(spec, index)
+                                   for index in range(3)]
+        assert estimates[True] == estimates[False]
+
+    def test_parallel_matches_serial_with_baseline_mode(self):
+        from repro.engine.pool import ExecutionPool
+        formula, projection = _dense_formula(10, "cab_pool")
+        config = PactConfig(family="xor", seed=11, iteration_override=4,
+                            simplify=False)
+        serial = pact_count(formula, projection, config)
+        parallel = pact_count(formula, projection, config,
+                              pool=ExecutionPool(jobs=2,
+                                                 backend="thread"))
+        assert serial.estimates == parallel.estimates

@@ -1,7 +1,6 @@
 """Hash family tests: slicing, partition balance, pairwise independence."""
 
 import random
-from collections import Counter
 
 import pytest
 

@@ -48,7 +48,10 @@ class TestResultCache:
         cache.put("fp1", {"estimate": 42, "status": "ok"})
         entry = cache.get("fp1")
         assert entry["estimate"] == 42
-        assert cache.stats == {"hits": 1, "misses": 1, "entries": 1}
+        assert cache.stats == {"hits": 1, "misses": 1, "entries": 1,
+                               "evictions": 0, "artifact_hits": 0,
+                               "artifact_misses": 0,
+                               "artifact_evictions": 0}
 
     def test_round_trips_through_disk(self, tmp_path):
         first = ResultCache(tmp_path)
@@ -76,3 +79,109 @@ class TestResultCache:
         with ResultCache(tmp_path) as cache:
             cache.put("fp2", {"estimate": 9, "status": "ok"})
         assert ResultCache(tmp_path).get("fp2")["estimate"] == 9
+
+
+class TestLruBound:
+    def test_bound_enforced_at_flush(self, tmp_path):
+        cache = ResultCache(tmp_path, max_entries=3)
+        for index in range(6):
+            cache.put(f"fp{index}", {"estimate": index, "status": "ok"})
+        cache.flush()
+        assert len(cache) == 3
+        assert cache.evictions == 3
+        assert cache.stats["evictions"] == 3
+        # the most recent entries survive
+        assert cache.get("fp5") is not None
+        assert cache.get("fp0") is None
+
+    def test_eviction_is_least_recently_used(self, tmp_path):
+        cache = ResultCache(tmp_path, max_entries=2)
+        cache.put("old", {"estimate": 1, "status": "ok"})
+        cache.put("mid", {"estimate": 2, "status": "ok"})
+        cache.put("new", {"estimate": 3, "status": "ok"})
+        assert cache.get("old") is not None  # refresh: old is now recent
+        cache.flush()
+        assert cache.get("mid") is None  # mid was the LRU entry
+        assert cache.get("old") is not None
+        assert cache.get("new") is not None
+
+    def test_recency_survives_reload(self, tmp_path):
+        first = ResultCache(tmp_path, max_entries=10)
+        first.put("a", {"estimate": 1, "status": "ok"})
+        first.put("b", {"estimate": 2, "status": "ok"})
+        first.get("a")
+        first.flush()
+        second = ResultCache(tmp_path, max_entries=1)
+        second.put("c", {"estimate": 3, "status": "ok"})
+        second.flush()
+        assert len(second) == 1
+        assert second.get("c") is not None
+
+    def test_unbounded_by_default(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for index in range(50):
+            cache.put(f"fp{index}", {"estimate": index, "status": "ok"})
+        cache.flush()
+        assert len(cache) == 50
+        assert cache.evictions == 0
+
+
+class TestCorruptTolerance:
+    def test_corrupt_file_reads_as_empty(self, tmp_path):
+        (tmp_path / "pact-cache.json").write_text("{not json")
+        cache = ResultCache(tmp_path)
+        assert cache.get("fp") is None
+        cache.put("fp", {"estimate": 1, "status": "ok"})
+        cache.flush()
+        assert ResultCache(tmp_path).get("fp") is not None
+
+    def test_corrupt_entry_dropped_not_fatal(self, tmp_path):
+        import json
+        (tmp_path / "pact-cache.json").write_text(json.dumps({
+            "version": 1,
+            "entries": {"good": {"estimate": 5, "status": "ok"},
+                        "bad": "not-a-mapping",
+                        "worse": 17},
+        }))
+        cache = ResultCache(tmp_path)
+        assert cache.get("good")["estimate"] == 5
+        assert cache.get("bad") is None
+        assert cache.get("worse") is None
+
+
+class TestArtifactStore:
+    def test_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get_artifact("d1") is None
+        cache.put_artifact("d1", {"version": 1, "digest": "d1"})
+        assert cache.get_artifact("d1")["digest"] == "d1"
+        assert cache.stats["artifact_hits"] == 1
+        assert cache.stats["artifact_misses"] == 1
+
+    def test_modes_stored_separately(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put_artifact("d1", {"mode": "on"}, simplified=True)
+        cache.put_artifact("d1", {"mode": "off"}, simplified=False)
+        assert cache.get_artifact("d1", simplified=True)["mode"] == "on"
+        assert cache.get_artifact("d1", simplified=False)["mode"] == "off"
+        assert cache.has_artifact("d1") and cache.has_artifact(
+            "d1", simplified=False)
+
+    def test_corrupt_artifact_reads_as_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.artifact_dir.mkdir(parents=True)
+        (cache.artifact_dir / "bad-s1.json").write_text("{broken")
+        assert cache.get_artifact("bad") is None
+
+    def test_lru_trim(self, tmp_path):
+        import os
+        cache = ResultCache(tmp_path, max_artifacts=2)
+        for index, digest in enumerate(("a", "b", "c")):
+            cache.put_artifact(digest, {"index": index})
+            path = cache._artifact_path(digest, True)
+            os.utime(path, (index, index))  # deterministic mtimes
+        cache.put_artifact("d", {"index": 3})
+        names = sorted(p.name for p in cache.artifact_dir.glob("*.json"))
+        assert len(names) == 2
+        assert cache.artifact_evictions >= 2
+        assert cache.evictions == 0  # result-row evictions stay separate

@@ -55,3 +55,64 @@ class TestRoundTrip:
         assert solver.solve() is True
         assert solver.model_value(1) is True
         assert solver.model_value(2) is False
+
+
+class TestShowLines:
+    def test_show_round_trip(self):
+        from repro.sat.dimacs import parse_dimacs_document
+        text = write_dimacs(5, [[1, 2]], [([3, 4], True)],
+                            show=[1, 3, 5])
+        document = parse_dimacs_document(text)
+        assert document.show == [1, 3, 5]
+        assert document.clauses == [[1, 2]]
+        assert document.xors == [([3, 4], True)]
+        # plain parse ignores show lines (signature unchanged)
+        assert parse_dimacs(text) == (5, [[1, 2]], [([3, 4], True)])
+
+    def test_long_show_list_chunks(self):
+        from repro.sat.dimacs import parse_dimacs_document
+        variables = list(range(1, 48))
+        text = write_dimacs(47, [], show=variables)
+        assert text.count("c p show") > 1
+        assert parse_dimacs_document(text).show == variables
+
+    def test_empty_show_line(self):
+        from repro.sat.dimacs import parse_dimacs_document
+        text = write_dimacs(2, [[1, 2]], show=[])
+        assert "c p show 0" in text
+        assert parse_dimacs_document(text).show == []
+
+    def test_bad_show_lines_rejected(self):
+        from repro.sat.dimacs import parse_dimacs_document
+        with pytest.raises(ParseError):
+            parse_dimacs_document("c p show 1 2\np cnf 2 0\n")
+        with pytest.raises(ParseError):
+            parse_dimacs_document("c p show -1 0\np cnf 2 0\n")
+        with pytest.raises(ParseError):
+            parse_dimacs_document("c p show 9 0\np cnf 2 0\n")
+
+    def test_plain_comments_still_ignored(self):
+        text = "c hello\nc p notshow\np cnf 1 1\n1 0\n"
+        assert parse_dimacs(text) == (1, [[1]], [])
+
+
+class TestHeaderConvention:
+    def test_header_counts_clauses_plus_xor_rows(self):
+        # The pinned decision: C = CNF clauses + XOR rows (module doc).
+        text = write_dimacs(4, [[1, 2], [3]], [([1, 4], True),
+                                               ([2, 3], False)])
+        header = next(line for line in text.splitlines()
+                      if line.startswith("p cnf"))
+        assert header == "p cnf 4 4"
+
+    def test_mixed_cnf_xor_round_trip(self):
+        clauses = [[1, -2, 3], [2], [-3, 4]]
+        xors = [([1, 2, 3], True), ([2, 4], False)]
+        text = write_dimacs(4, clauses, xors,
+                            comments=["mixed instance"])
+        num_vars, parsed_clauses, parsed_xors = parse_dimacs(text)
+        assert (num_vars, parsed_clauses, parsed_xors) == (
+            4, clauses, xors)
+        # and a second write is byte-identical (stable serialisation)
+        assert write_dimacs(4, parsed_clauses, parsed_xors,
+                            comments=["mixed instance"]) == text

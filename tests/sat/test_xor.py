@@ -1,6 +1,5 @@
 """Tests for the native XOR engine, including CNF/XOR mixes."""
 
-import itertools
 import random
 
 import pytest

@@ -5,7 +5,6 @@ import random
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.errors import ModelError
 from repro.smt import (
     And, Equals, Iff, Implies, Ite, Not, Or, SmtSolver, bool_var, bv_add,
     bv_mul, bv_ult, bv_val, bv_var, real_le, real_lt, real_val, real_var,

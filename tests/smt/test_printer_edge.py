@@ -14,7 +14,7 @@ from repro.smt import (
     fp_to_bv, fp_val, fp_var, real_div, real_le, real_lt, real_val,
     real_var, select, store, uf,
 )
-from repro.smt.parser import parse_script, parse_term_string
+from repro.smt.parser import parse_script
 from repro.smt.printer import declaration, print_sort, print_term, write_script
 from repro.smt.sorts import (
     ArraySort, BitVecSort, BoolSort, FloatSort, RealSort,

@@ -1,7 +1,6 @@
 """SoftFloat reference tests, including cross-checks against host floats."""
 
 import math
-import random
 import struct
 from fractions import Fraction
 

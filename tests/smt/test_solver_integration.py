@@ -6,7 +6,6 @@ True, and blocking-clause enumeration over projected variables visits each
 projected assignment exactly once.
 """
 
-import itertools
 import random
 
 import pytest

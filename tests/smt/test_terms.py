@@ -11,7 +11,7 @@ from repro.smt import (
     bv_val, bv_var, fp_val, fp_var, real_val, real_var, select, store,
     array_var, apply_uf, uf,
 )
-from repro.smt.sorts import ArraySort, FunctionSort
+from repro.smt.sorts import ArraySort
 
 
 class TestSorts:

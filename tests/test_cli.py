@@ -1,7 +1,5 @@
 """CLI tests (count / enum / generate round trips)."""
 
-import pathlib
-
 import pytest
 
 from repro.cli import main
@@ -91,9 +89,11 @@ class TestPortfolio:
         main(["portfolio", str(smt_file), "--counters",
               "pact:xor,pact:prime,cdm", "--seed", "3"])
         second = capsys.readouterr().out
-        # Identical winner and estimates; only timings may differ.
+        # Identical winner and estimates; only timings may differ
+        # (the second run is faster: the compile memo is warm).
         def _stable(text):
-            return [line.split("s  ")[-1] for line in text.splitlines()]
+            return [line.split("elapsed=")[0].split("s  ")[-1]
+                    for line in text.splitlines()]
         assert first.splitlines()[0] == second.splitlines()[0]
         assert _stable(first) == _stable(second)
 
@@ -128,3 +128,38 @@ class TestGenerate:
     def test_unknown_logic(self, tmp_path):
         assert main(["generate", "--logic", "QF_LIA", "--out",
                      str(tmp_path)]) == 2
+
+
+class TestCompile:
+    def test_compile_stats_and_dimacs(self, smt_file, capsys):
+        assert main(["compile", str(smt_file)]) == 0
+        output = capsys.readouterr().out
+        assert "c compiled" in output
+        assert "c simplify:" in output
+        assert "c p show" in output
+        assert "p cnf" in output
+
+    def test_compile_out_file(self, smt_file, tmp_path, capsys):
+        out = tmp_path / "toy.cnf"
+        assert main(["compile", str(smt_file), "--out", str(out)]) == 0
+        text = out.read_text()
+        assert text.startswith("c ")
+        from repro.sat.dimacs import parse_dimacs_document
+        document = parse_dimacs_document(text)
+        assert document.show  # projection exported for external counters
+
+    def test_compile_no_simplify(self, smt_file, capsys):
+        assert main(["compile", str(smt_file), "--no-simplify",
+                     "--quiet"]) == 0
+        output = capsys.readouterr().out
+        assert "c compiled" in output
+        assert "c simplify:" not in output
+        assert "p cnf" not in output  # --quiet suppresses the DIMACS
+
+    def test_count_no_simplify_matches_default(self, smt_file, capsys):
+        assert main(["count", str(smt_file), "--no-cache"]) == 0
+        default = capsys.readouterr().out.splitlines()[0]
+        assert main(["count", str(smt_file), "--no-simplify",
+                     "--no-cache"]) == 0
+        baseline = capsys.readouterr().out.splitlines()[0]
+        assert default == baseline
