@@ -7,6 +7,11 @@ reproducible across machines and Python versions) and fails if any
 family exceeds its recorded baseline in
 ``bench_results/solver_calls_baseline.json``.
 
+The exact component-caching counter is baselined once (key
+``exact:cc``) on the same smoke formula: it never uses a hash family,
+so one measurement covers it; its ``solver_calls`` are DPLL decisions —
+a pure function of the clause DB — and its count must stay bit-exact.
+
 Regenerate the baseline after an intentional search/schedule change:
 
     PYTHONPATH=src python benchmarks/check_solver_calls.py --update
@@ -17,6 +22,7 @@ import pathlib
 import sys
 
 from repro.core import PactConfig, pact_count
+from repro.count_exact import cc_count
 from repro.smt import bv_ult, bv_val, bv_var
 
 BASELINE_PATH = (pathlib.Path(__file__).resolve().parent.parent
@@ -29,9 +35,9 @@ FAMILIES = ("xor", "prime", "shift")
 
 def measure() -> dict:
     results = {}
+    bound = (1 << WIDTH) - (1 << (WIDTH - 3))
     for family in FAMILIES:
         x = bv_var(f"ci_{family}", WIDTH)
-        bound = (1 << WIDTH) - (1 << (WIDTH - 3))
         config = PactConfig(family=family, seed=SEED,
                             iteration_override=ITERATIONS, timeout=300)
         result = pact_count([bv_ult(x, bv_val(bound, WIDTH))], [x],
@@ -39,6 +45,12 @@ def measure() -> dict:
         assert result.solved, f"{family}: smoke instance did not solve"
         results[family] = {"solver_calls": result.solver_calls,
                            "estimate": result.estimate}
+    x = bv_var("ci_exact_cc", WIDTH)
+    exact = cc_count([bv_ult(x, bv_val(bound, WIDTH))], [x], timeout=300)
+    assert exact.solved, "exact:cc: smoke instance did not solve"
+    assert exact.estimate == bound, f"exact:cc: {exact.estimate} != {bound}"
+    results["exact:cc"] = {"solver_calls": exact.solver_calls,
+                           "estimate": exact.estimate}
     return results
 
 
@@ -51,7 +63,8 @@ def main() -> int:
         return 0
     baseline = json.loads(BASELINE_PATH.read_text())
     failed = False
-    for family in FAMILIES:
+    keys = list(FAMILIES) + ["exact:cc"]
+    for family in keys:
         got = measured[family]
         want = baseline[family]
         note = ""
@@ -61,7 +74,7 @@ def main() -> int:
         elif got["solver_calls"] > want["solver_calls"]:
             note = "  REGRESSION (more oracle calls than baseline)"
             failed = True
-        print(f"{family:6s} solver_calls {got['solver_calls']:5d} "
+        print(f"{family:14s} solver_calls {got['solver_calls']:5d} "
               f"(baseline {want['solver_calls']:5d})  "
               f"estimate {got['estimate']}{note}")
     return 1 if failed else 0

@@ -15,6 +15,7 @@ registered under a canonical name:
     pact:shift Algorithm 1 with the H_shift family
     cdm        the self-composition baseline
     enum       exact projected enumeration
+    exact:cc   exact component-caching search
     ========== =======================================
 
 Legacy spellings (``pact_xor`` from the harness configurations, bare
@@ -33,6 +34,7 @@ from repro.core.cdm import cdm_count
 from repro.core.config import FAMILIES, PactConfig
 from repro.core.enumerate import exact_count
 from repro.core.pact import pact_count
+from repro.count_exact import cc_count
 from repro.errors import CounterError
 
 __all__ = [
@@ -50,6 +52,11 @@ class Counter(Protocol):
     (possibly cancellable) :class:`repro.utils.deadline.Deadline` that
     overrides the request's own timeout — the portfolio runner uses it to
     race counters under one shared budget.
+
+    Counters that compile under the plain problem digest advertise it
+    with a truthy ``uses_compile_artifact`` attribute; sessions preload
+    and persist the compile artifact through the on-disk store for
+    exactly those (the attribute is optional and defaults to False).
     """
 
     name: str
@@ -64,6 +71,10 @@ class PactCounter:
     """Algorithm 1 under one hash family, as a registry counter."""
 
     family: str
+    # Compiles under the plain problem digest, so sessions preload and
+    # persist its artifact through the on-disk store (Counter protocol
+    # capability; counters without it default to False).
+    uses_compile_artifact = True
 
     @property
     def name(self) -> str:
@@ -121,6 +132,31 @@ class EnumCounter:
                                          problem=problem.name)
 
 
+@dataclass(frozen=True)
+class CcCounter:
+    """Exact component-caching search as a registry counter.
+
+    Counts on the same compiled artifact the pact counters solve on
+    (one compile per (problem, simplify) per process, shared through
+    the memo and the session's artifact store); ``request.simplify``
+    selects the compile A/B mode, everything else it needs is the
+    budget.
+    """
+
+    name: str = "exact:cc"
+    uses_compile_artifact = True  # shares pact's plain-digest artifact
+
+    def count(self, problem: Problem, request: CountRequest, *,
+              pool=None, deadline=None) -> CountResponse:
+        result = cc_count(list(problem.assertions),
+                          list(problem.projection),
+                          timeout=request.timeout, deadline=deadline,
+                          simplify=request.simplify,
+                          digest=problem.compile_key)
+        return CountResponse.from_result(result, counter=self.name,
+                                         problem=problem.name)
+
+
 # ----------------------------------------------------------------------
 # the registry
 # ----------------------------------------------------------------------
@@ -161,3 +197,4 @@ for _family in FAMILIES:
     register(PactCounter(_family), aliases=(f"pact_{_family}", _family))
 register(CdmCounter(), aliases=("pact_cdm",))
 register(EnumCounter(), aliases=("enumerate", "exact"))
+register(CcCounter(), aliases=("cc", "exact_cc"))

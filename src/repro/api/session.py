@@ -376,12 +376,15 @@ class Session:
         Returns the problem's canonical compile digest (for the
         persist-after-count hook) when the cache is on.  A hit means
         the counter skips preprocessing + bit-blasting entirely on a
-        cold process; corruption reads as a miss.  Only pact counters
-        compile under the plain problem digest (cdm compiles its q-fold
-        composition process-locally, enum never compiles), so other
-        counters skip the serialisation + disk probe entirely.
+        cold process; corruption reads as a miss.  Only the counters
+        that compile under the plain problem digest — those advertising
+        ``uses_compile_artifact``: pact and the exact component-caching
+        counter share one artifact — probe the store (cdm compiles its
+        q-fold composition process-locally, enum never compiles), so
+        other counters skip the serialisation + disk probe entirely.
         """
-        if self.cache is None or not counter.startswith("pact:"):
+        if self.cache is None or not getattr(
+                resolve(counter), "uses_compile_artifact", False):
             return None
         from repro.compile import (
             CompiledProblem, peek_compiled, preseed_compile_memo,

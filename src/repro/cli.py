@@ -2,7 +2,8 @@
 
 Subcommands::
 
-    pact count FILE.smt2 [--family xor] [--epsilon 0.8] [--delta 0.2]
+    pact count FILE.smt2 [--family xor | --counter exact:cc]
+                         [--epsilon 0.8] [--delta 0.2]
                          [--project x,y] [--timeout T] [--seed N]
                          [--jobs N] [--backend B]
                          [--cache-dir DIR] [--no-cache]
@@ -86,8 +87,9 @@ def _print_solved(response) -> None:
 
 def _cmd_count(args) -> int:
     problem = _problem(args)
+    counter = args.counter or args.family
     with _session(args) as session:
-        response = session.count(problem, _request(args, args.family))
+        response = session.count(problem, _request(args, counter))
     if response.cached:
         if response.solved:
             _print_solved(response)
@@ -306,10 +308,14 @@ def build_parser() -> argparse.ArgumentParser:
                     "(DAC 2025 reproduction)")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    count = sub.add_parser("count", help="approximate projected count")
+    count = sub.add_parser("count",
+                           help="projected count (approximate or exact)")
     count.add_argument("file")
     count.add_argument("--family", default="xor",
                        choices=["xor", "prime", "shift", "cdm"])
+    count.add_argument("--counter", default=None,
+                       help="full registry counter name (e.g. exact:cc, "
+                            "pact:prime, enum); overrides --family")
     _add_request_arguments(count)
     _add_engine_arguments(count)
     count.set_defaults(handler=_cmd_count)

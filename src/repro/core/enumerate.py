@@ -47,10 +47,15 @@ def exact_count(assertions, projection: list[Term],
                 break
             count += 1
             if limit is not None and count > limit:
+                # The partial enumeration is not discarded silently:
+                # ``count`` models were found before the cap tripped, so
+                # it is a sound lower bound on the projected count.
                 return CountResult(
                     estimate=None, status=Status.LIMIT, solver_calls=calls,
                     time_seconds=time.monotonic() - start, detail=
-                    f"more than {limit} projected solutions")
+                    f"at least {count} projected solutions "
+                    f"(limit {limit} tripped; partial enumeration "
+                    f"is a lower bound, not an estimate)")
             blocking = []
             for var, bits in zip(projection, bits_of):
                 value = solver.bv_value(var)

@@ -1,0 +1,103 @@
+"""Eager LRA theory closure: make the Boolean abstraction exact.
+
+A :class:`repro.compile.CompiledProblem` of an LRA-carrying logic keeps
+its real atoms *lazy*: each atom ``sum(c_i * r_i) <= k`` is abstracted
+to a SAT literal, and the DPLL(T) loop blocks infeasible polarity
+combinations one conflict at a time.  A clause-DB counter cannot run
+that loop — it never produces full SAT models to hand to simplex — so
+counting over the raw CNF would over-approximate: Boolean solutions
+whose atom polarities are LRA-infeasible must not be counted.
+
+This module closes the gap eagerly.  The real variables occur *only*
+inside the atoms (the preprocessor guarantees it — everything else is
+bit-blasted), so an assignment of the atom literals extends to a real
+model exactly when the corresponding set of linear constraints is
+simplex-feasible.  Enumerating all ``2^k`` polarity vectors of the
+``k`` atoms and blocking each infeasible one with its simplex conflict
+clause therefore yields a CNF whose projected count equals the SMT
+projected count — the *theory closure*.
+
+Each simplex conflict is a (usually small) subset of the participating
+polarities, so one blocking clause prunes a whole cube of vectors; the
+enumeration skips vectors an earlier clause already blocks, which keeps
+the number of simplex calls well below ``2^k`` in practice.  ``k`` is
+capped (:data:`MAX_CLOSURE_ATOMS`): the closure is meant for the
+handful of abstraction atoms compilation leaves behind, not as a
+general LRA decision procedure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CounterError
+from repro.smt.theories.lra.theory import LraTheory
+
+__all__ = ["ClosureStats", "MAX_CLOSURE_ATOMS", "lra_closure"]
+
+# 2^16 simplex checks worst case — a few seconds; beyond that the eager
+# closure is the wrong tool and the counter refuses rather than stalls.
+MAX_CLOSURE_ATOMS = 16
+
+
+@dataclass
+class ClosureStats:
+    """Accounting for one closure construction."""
+
+    atoms: int = 0
+    checks: int = 0
+    infeasible: int = 0
+    clauses: list[list[int]] = field(default_factory=list)
+
+
+def lra_closure(atoms, max_atoms: int = MAX_CLOSURE_ATOMS,
+                deadline=None) -> ClosureStats:
+    """Blocking clauses making the atoms' Boolean abstraction exact.
+
+    ``atoms`` is the artifact's ``(atom term, SAT literal)`` table.
+    Returns a :class:`ClosureStats` whose ``clauses`` (over the atom
+    literals) block exactly the LRA-infeasible polarity vectors.
+    ``deadline`` is polled through the enumeration (up to ``2^k``
+    simplex checks), so a portfolio cancel or a short budget cuts the
+    closure short instead of blocking past it.
+    """
+    stats = ClosureStats(atoms=len(atoms))
+    if not atoms:
+        return stats
+    if len(atoms) > max_atoms:
+        raise CounterError(
+            f"exact:cc supports at most {max_atoms} lazy LRA atoms "
+            f"(got {len(atoms)}); use the enum counter for this problem")
+    theory = LraTheory()
+    for atom, literal in atoms:
+        theory.register(atom, literal)
+    literals = [literal for _atom, literal in atoms]
+    variables = [abs(literal) for literal in literals]
+
+    seen_clauses: set[tuple[int, ...]] = set()
+    for vector in range(1 << len(atoms)):
+        if deadline is not None and vector % 64 == 0:
+            deadline.check()
+        # polarity of atom i in this candidate vector
+        polarity = {variables[i]: bool((vector >> i) & 1)
+                    for i in range(len(atoms))}
+
+        def model_value(lit: int) -> bool:
+            value = polarity[abs(lit)]
+            return (not value) if lit < 0 else value
+
+        # Skip vectors an earlier conflict clause already rules out.
+        if any(all(not model_value(lit) for lit in clause)
+               for clause in stats.clauses):
+            continue
+        stats.checks += 1
+        feasible, payload = theory.check(model_value)
+        if feasible:
+            continue
+        stats.infeasible += 1
+        clause = sorted(payload)
+        key = tuple(clause)
+        if key not in seen_clauses:
+            seen_clauses.add(key)
+            stats.clauses.append(clause)
+    return stats

@@ -1,0 +1,300 @@
+"""The projected component-caching exact counter (``exact:cc``).
+
+A sharpSAT/Cachet-style counter (Thurley 2006; Sang et al. 2004) over
+the compiled clause DB, specialised to *projected* counting:
+
+* **DPLL-style search, projection-aware branching** — the search
+  branches only on projection bits.  Once a piece of the formula
+  contains no projection bit, its projected count is its satisfiability
+  (1 or 0), decided by the same search as a subproblem.
+* **Connected-component decomposition** — after every propagation the
+  residual formula is split into variable-disjoint components
+  (:meth:`repro.sat.components.ConstraintGraph.split`); their projected
+  counts multiply.  Unconstrained ("free") projection bits contribute a
+  factor of 2 each and are never searched.
+* **Component caching** — every component's count is cached under its
+  canonical signature (:mod:`repro.count_exact.signature`), so
+  structurally repeated subformulas — ubiquitous under comparator and
+  adder circuits — are counted once.
+* **Theory exactness** — XOR rows propagate natively; lazy LRA atoms
+  are closed eagerly into blocking clauses before the search
+  (:mod:`repro.count_exact.closure`), so the Boolean projected count
+  equals the SMT projected count on every supported logic.
+
+Where ``enum`` pays one full CDCL solve *per projected model*, this
+search visits each distinct residual component once — turning exact
+counting from O(#models) solver calls into search over the clause DB.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+
+from repro.core.result import CountResult
+from repro.count_exact.closure import lra_closure
+from repro.count_exact.signature import (
+    component_signature, projection_occurrences,
+)
+from repro.errors import CounterError, SolverTimeoutError
+from repro.sat.components import (
+    Component, ConstraintGraph, FALSE_V, TRUE_V, UNSET_V,
+)
+from repro.smt.terms import Term
+from repro.status import Status
+from repro.utils.deadline import Deadline
+
+__all__ = ["CcStats", "cc_count", "count_compiled"]
+
+_DEADLINE_CHECK_INTERVAL = 256  # decisions between deadline polls
+# The search recurses a few frames per variable; the floor covers any
+# realistic clause DB in one process-wide bump.
+_RECURSION_FLOOR = 200_000
+_RECURSION_HEADROOM = 20_000
+_recursion_lock = threading.Lock()
+
+
+def _ensure_recursion_limit(needed: int) -> None:
+    """Raise the interpreter recursion limit to at least
+    ``max(needed, _RECURSION_FLOOR)``.
+
+    The limit is process-global, so it is only ever raised, never
+    restored: shrinking it back would yank the floor out from under a
+    concurrent count deep in its own recursion (the thread backend runs
+    several counts at once).  Jumping straight to a fixed floor makes
+    the bump a once-per-process event rather than a per-problem one.
+    """
+    needed = max(needed, _RECURSION_FLOOR)
+    with _recursion_lock:
+        if sys.getrecursionlimit() < needed:
+            sys.setrecursionlimit(needed)
+
+
+class CcStats:
+    """Accounting for one component-caching count."""
+
+    __slots__ = ("decisions", "components", "cache_hits", "cache_misses",
+                 "sat_checks", "free_bits", "closure_atoms",
+                 "closure_checks", "closure_clauses")
+
+    def __init__(self):
+        self.decisions = 0
+        self.components = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.sat_checks = 0
+        self.free_bits = 0
+        self.closure_atoms = 0
+        self.closure_checks = 0
+        self.closure_clauses = 0
+
+    def as_detail(self) -> str:
+        """The compact stats string persisted with the result (the
+        engine cache stores it in the entry's ``detail`` field)."""
+        parts = [f"cc: decisions={self.decisions}",
+                 f"components={self.components}",
+                 f"cache_hits={self.cache_hits}",
+                 f"cache_entries={self.cache_misses}",
+                 f"sat_checks={self.sat_checks}",
+                 f"free_bits={self.free_bits}"]
+        if self.closure_atoms:
+            parts.append(
+                f"closure={self.closure_atoms} atoms/"
+                f"{self.closure_checks} checks/"
+                f"{self.closure_clauses} clauses")
+        return " ".join(parts)
+
+
+class _Search:
+    """The recursive search: one instance per count, state on the trail."""
+
+    def __init__(self, graph: ConstraintGraph, projection: frozenset,
+                 deadline: Deadline, stats: CcStats):
+        self.graph = graph
+        self.projection = projection
+        self.deadline = deadline
+        self.stats = stats
+        self.values = [UNSET_V] * (graph.num_vars + 1)
+        self.trail: list[int] = []
+        self.cache: dict[tuple, int] = {}
+
+    # ------------------------------------------------------------------
+    def assert_roots(self, units) -> bool:
+        """Assert the snapshot's root units and propagate; False = UNSAT."""
+        for lit in units:
+            if not self.graph.assign(self.values, self.trail, lit):
+                return False
+        return self.graph.propagate(self.values, self.trail, 0)
+
+    def count_scope(self, scope) -> int:
+        """Projected count of the residual formula over ``scope``
+        (unassigned variables): free-bit factor times the product of the
+        component counts."""
+        components, free = self.graph.split(self.values, scope)
+        free_projection = sum(1 for var in free if var in self.projection)
+        self.stats.free_bits += free_projection
+        result = 1 << free_projection
+        for component in components:
+            if result == 0:
+                break
+            result *= self.count_component(component)
+        return result
+
+    def count_component(self, component: Component) -> int:
+        """The projected count of one component, through the cache."""
+        self.stats.components += 1
+        signature = component_signature(self.graph, self.values, component)
+        cached = self.cache.get(signature)
+        if cached is not None:
+            self.stats.cache_hits += 1
+            return cached
+        self.stats.cache_misses += 1
+        branch = self._pick_branch_variable(signature)
+        if branch is None:
+            self.stats.sat_checks += 1
+            result = self._satisfiable(component)
+        else:
+            result = (self._branch_count(component, branch, TRUE_V)
+                      + self._branch_count(component, branch, FALSE_V))
+        self.cache[signature] = result
+        return result
+
+    # ------------------------------------------------------------------
+    def _pick_branch_variable(self, signature: tuple) -> int | None:
+        """The projection bit with the most active occurrences in the
+        component (ties to the smallest id); None if the component has
+        no projection bits left."""
+        occurrences = projection_occurrences(signature, self.projection)
+        if not occurrences:
+            return None
+        return min(occurrences,
+                   key=lambda var: (-occurrences[var], var))
+
+    def _decide(self, var: int, value: int) -> int | None:
+        """Assign ``var`` and propagate; trail mark on success, else None
+        (with the trail already unwound)."""
+        self.stats.decisions += 1
+        if self.stats.decisions % _DEADLINE_CHECK_INTERVAL == 0:
+            self.deadline.check()
+        mark = len(self.trail)
+        lit = var if value == TRUE_V else -var
+        if (self.graph.assign(self.values, self.trail, lit)
+                and self.graph.propagate(self.values, self.trail, mark)):
+            return mark
+        self._unwind(mark)
+        return None
+
+    def _unwind(self, mark: int) -> None:
+        for var in self.trail[mark:]:
+            self.values[var] = UNSET_V
+        del self.trail[mark:]
+
+    def _branch_count(self, component: Component, var: int,
+                      value: int) -> int:
+        mark = self._decide(var, value)
+        if mark is None:
+            return 0
+        try:
+            return self.count_scope(component.variables)
+        finally:
+            self._unwind(mark)
+
+    def _satisfiable(self, component: Component) -> int:
+        """Satisfiability of a projection-free component, as 0/1.
+
+        Plain DPLL with the same decomposition: after a decision the
+        component may fall apart, and every piece (cached like any other
+        component) must be satisfiable.
+        """
+        branch = component.variables[0]
+        for value in (TRUE_V, FALSE_V):
+            mark = self._decide(branch, value)
+            if mark is None:
+                continue
+            try:
+                components, _free = self.graph.split(self.values,
+                                                     component.variables)
+                if all(self.count_component(piece) for piece in components):
+                    return 1
+            finally:
+                self._unwind(mark)
+        return 0
+
+
+# ----------------------------------------------------------------------
+# entry points
+# ----------------------------------------------------------------------
+def count_compiled(artifact, *, deadline: Deadline | None = None,
+                   timeout: float | None = None) -> CountResult:
+    """Count a :class:`repro.compile.CompiledProblem` exactly.
+
+    The artifact is the same one the pact counters solve on (shared
+    through the per-process compile memo and the on-disk artifact
+    store); XOR rows and root units come straight from its snapshot.
+    """
+    start = time.monotonic()
+    if deadline is None:
+        deadline = Deadline(timeout)
+    stats = CcStats()
+
+    flat_bits = artifact.flat_bits
+    projection_vars = [abs(lit) for lit in flat_bits]
+    if len(set(projection_vars)) != len(projection_vars):
+        raise CounterError(
+            "exact:cc requires distinct SAT variables per projection bit")
+
+    try:
+        deadline.check()
+        closure = lra_closure(artifact.atoms, deadline=deadline)
+        stats.closure_atoms = closure.atoms
+        stats.closure_checks = closure.checks
+        stats.closure_clauses = len(closure.clauses)
+
+        graph = ConstraintGraph.from_snapshot(
+            artifact.snapshot, extra_clauses=closure.clauses)
+        search = _Search(graph, frozenset(projection_vars), deadline,
+                         stats)
+        _ensure_recursion_limit(
+            4 * graph.num_vars + _RECURSION_HEADROOM)
+        if not artifact.snapshot.ok or not search.assert_roots(
+                artifact.snapshot.units):
+            count = 0
+        else:
+            count = search.count_scope(range(1, graph.num_vars + 1))
+    except SolverTimeoutError:
+        return CountResult(
+            estimate=None, status=Status.TIMEOUT,
+            solver_calls=stats.decisions,
+            time_seconds=time.monotonic() - start,
+            detail=stats.as_detail())
+    return CountResult(
+        estimate=count, status=Status.OK, exact=True,
+        solver_calls=stats.decisions, sat_answers=0,
+        time_seconds=time.monotonic() - start, detail=stats.as_detail())
+
+
+def cc_count(assertions, projection: list[Term],
+             timeout: float | None = None, *,
+             deadline: Deadline | None = None, simplify: bool = True,
+             script: str | None = None,
+             digest: str | None = None) -> CountResult:
+    """Count |Sol(F)|_S| exactly by component-caching search.
+
+    Same calling convention as the other counters: ``deadline``
+    optionally replaces the ``timeout``-derived deadline; ``simplify``
+    selects the compile pipeline's A/B mode; ``digest`` short-circuits
+    artifact hashing when the caller already has the compile key.
+    """
+    from repro.core.pact import compile_counting_problem
+    if isinstance(assertions, Term):
+        assertions = [assertions]
+    start = time.monotonic()
+    if deadline is None:
+        deadline = Deadline(timeout)
+    artifact = compile_counting_problem(list(assertions), list(projection),
+                                        simplify=simplify, script=script,
+                                        digest=digest)
+    result = count_compiled(artifact, deadline=deadline)
+    result.time_seconds = time.monotonic() - start
+    return result

@@ -1,0 +1,62 @@
+"""Canonical component signatures — the component cache's key.
+
+The cache maps a *component* (a variable-disjoint piece of the residual
+formula under the current partial assignment) to its projected count.
+Soundness rests entirely on the key: two cache keys may collide only if
+the components have the same count.
+
+The signature of a component is the sorted multiset of its constraints'
+canonical residuals (:meth:`repro.sat.components.ConstraintGraph.residual`):
+each unsatisfied clause contributes ``("c", literals)`` (its unassigned
+literals, sorted), each open XOR row contributes ``("x", variables,
+parity)`` with the assigned variables folded into the required parity.
+
+Why this is a sound key under projection:
+
+* the residuals *are* the component's subformula — variables are kept
+  under their global ids (no renaming), so equal signatures mean
+  literally the same residual constraint set over the same variables;
+* which variables belong to the projection set is a global property of
+  the search (fixed per run), a function of the variable id — so equal
+  signatures also agree on which of their variables are projection
+  bits, and therefore on the projected count;
+* free variables (mentioned by no active constraint) are never part of
+  a component — the counter handles them outside the cache (factor 2
+  per free *projection* bit, factor 1 otherwise), so a signature never
+  has to encode them.
+
+The same cache stores projection-free components: their "projected
+count" is their satisfiability (1 or 0) — one non-projection assignment
+either exists or it does not — so SAT subproblem answers and counts
+share one table without ambiguity.
+"""
+
+from __future__ import annotations
+
+from repro.sat.components import Component, ConstraintGraph
+
+__all__ = ["component_signature", "projection_occurrences"]
+
+
+def component_signature(graph: ConstraintGraph, values,
+                        component: Component) -> tuple:
+    """The canonical cache key of ``component`` under ``values``."""
+    return tuple(sorted(
+        graph.residual(values, cid) for cid in component.constraints))
+
+
+def projection_occurrences(signature: tuple,
+                           projection: frozenset) -> dict[int, int]:
+    """How often each projection bit occurs in a signature's residuals —
+    the branching heuristic's score (computed off the signature so the
+    counter never scans the component twice)."""
+    occurrences: dict[int, int] = {}
+    for residual in signature:
+        if residual[0] == "c":
+            variables = (abs(lit) for lit in residual[1])
+        else:
+            variables = residual[1]
+        for var in variables:
+            if var in projection:
+                occurrences[var] = occurrences.get(var, 0) + 1
+    return occurrences

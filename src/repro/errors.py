@@ -23,7 +23,7 @@ class ResourceBudgetError(ReproError):
 class UnsupportedFeatureError(ReproError):
     """Raised for SMT features the reproduction deliberately omits.
 
-    DESIGN.md section 6 lists the omissions (FP division, non-RNE rounding
+    DESIGN.md section 7 lists the omissions (FP division, non-RNE rounding
     for arithmetic, integer projection variables, ...).
     """
 

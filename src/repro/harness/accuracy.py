@@ -16,6 +16,7 @@ reproduces.
 from __future__ import annotations
 
 from repro.benchgen.suite import accuracy_pool
+from repro.errors import CounterError
 from repro.harness.presets import Preset
 from repro.harness.report import ascii_plot, format_table, to_csv
 from repro.harness.runner import RunRecord, run_matrix
@@ -28,12 +29,68 @@ PAPER_ERRORS = {
 
 FAMILIES = ("pact_xor", "pact_prime", "pact_shift")
 
+# Fig. 2's ground truth comes from an exact counter, as in the paper
+# (there enum-solved instances; here the component-caching counter,
+# which reaches instance sizes enumeration cannot).
+GROUND_TRUTH_COUNTER = "exact:cc"
+
+
+def exact_ground_truth(instances, counter: str = GROUND_TRUTH_COUNTER,
+                       timeout: float | None = None, pool=None,
+                       cache=None):
+    """Establish each instance's ground-truth count with an exact counter.
+
+    Returns the instances with ``known_count`` set from the exact
+    engine's answer.  Where the generator recorded an analytic count the
+    two must agree — a mismatch means a broken counter (or generator)
+    and poisons every error measurement, so it raises instead of
+    silently producing a wrong Fig. 2.  Instances the exact engine
+    cannot finish within ``timeout`` — or refuses outright (e.g. the
+    closure atom cap, surfaced as an ERROR response) — keep their
+    analytic count.
+
+    The counts run through a :class:`repro.api.Session` over the same
+    ``pool``/``cache`` the approximate matrix uses, so they fan out
+    alongside it and warm harness re-runs replay them from the
+    fingerprint cache instead of recomputing.
+    """
+    from repro.api.problem import Problem
+    from repro.api.request import CountRequest
+    from repro.api.session import Session
+    problems = [Problem.from_instance(instance) for instance in instances]
+    request = CountRequest(counter=counter, timeout=timeout)
+    session = Session(pool=pool, cache=cache)
+    responses = session.count_batch(problems, request)
+    for instance, response in zip(instances, responses):
+        if not (response.solved and response.exact):
+            continue  # keep the analytic count; budget/engine ran out
+        if (instance.known_count is not None
+                and instance.known_count != response.estimate):
+            raise CounterError(
+                f"ground-truth disagreement on {instance.name}: "
+                f"{counter} says {response.estimate}, generator says "
+                f"{instance.known_count}")
+        instance.known_count = response.estimate
+    return instances
+
 
 def run_accuracy(preset: Preset, per_logic: int = 2, progress=None,
-                 pool=None, cache=None) -> tuple[list[RunRecord], str]:
-    """Run the Fig. 2 experiment on the known-count pool."""
+                 pool=None, cache=None,
+                 ground_truth: str | None = GROUND_TRUTH_COUNTER,
+                 ) -> tuple[list[RunRecord], str]:
+    """Run the Fig. 2 experiment on the known-count pool.
+
+    ``ground_truth`` names the exact counter that establishes (and
+    cross-checks) every instance's reference count before the
+    approximate matrix runs; ``None`` trusts the generators' analytic
+    counts as before.
+    """
     instances = accuracy_pool(per_logic=per_logic,
                               base_seed=preset.base_seed + 7)
+    if ground_truth is not None:
+        exact_ground_truth(instances, counter=ground_truth,
+                           timeout=preset.timeout, pool=pool,
+                           cache=cache)
     records = run_matrix(instances, preset, configurations=FAMILIES,
                          progress=progress, pool=pool, cache=cache)
     return records, accuracy_table(records, preset.epsilon)

@@ -571,7 +571,7 @@ def build_application(head: str, args: list[Term], line: int) -> Term:
     if head in ("fp.div", "fp.sqrt", "fp.fma", "fp.rem",
                 "fp.roundToIntegral"):
         raise UnsupportedFeatureError(
-            f"{head} is not supported (DESIGN.md section 6)")
+            f"{head} is not supported (DESIGN.md section 7)")
     if head == "fp.to_ieee_bv":
         return T.fp_to_bv(args[0])
 

@@ -16,7 +16,7 @@ Two stages, both standard and complete for QF:
 The registry is incremental (new assertions add congruence lemmas against
 previously seen selects) and frame-aware (selects registered inside a pact
 cell frame are forgotten on pop).  Array equality is not supported
-(DESIGN.md section 6) and raises :class:`UnsupportedFeatureError`.
+(DESIGN.md section 7) and raises :class:`UnsupportedFeatureError`.
 """
 
 from __future__ import annotations
@@ -84,7 +84,7 @@ class ArrayEliminator:
                                         walk, lemmas)
         if node.op in (Op.EQ, Op.DISTINCT) and node.args[0].sort.is_array():
             raise UnsupportedFeatureError(
-                "array equality is not supported (DESIGN.md section 6)")
+                "array equality is not supported (DESIGN.md section 7)")
         if node.sort.is_array():
             # Bare array term outside a select position (e.g. a store used
             # as an ITE branch) is fine — selects will be pushed into it.

@@ -10,7 +10,7 @@ Two halves, checked against each other by the test suite:
   the eager bit-blaster then turns into CNF, mirroring how CVC5's SymFPU
   handles the FP theory.
 
-Rounding: RNE only for arithmetic (DESIGN.md section 6).
+Rounding: RNE only for arithmetic (DESIGN.md section 7).
 """
 
 from repro.smt.theories.fp.softfloat import FpFormat, SoftFloat

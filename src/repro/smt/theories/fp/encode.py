@@ -6,7 +6,7 @@ CNF — the same architecture CVC5 uses via SymFPU.  Supported: literals,
 variables, classification predicates, comparisons, abs/neg/min/max, and
 add/sub/mul with RNE rounding including subnormals and correct
 special-value handling.  Division, sqrt, fma and non-RNE rounding raise
-:class:`UnsupportedFeatureError` (DESIGN.md section 6).
+:class:`UnsupportedFeatureError` (DESIGN.md section 7).
 
 The arithmetic pipeline mirrors :mod:`softfloat` exactly: operands are
 decomposed into (sign, lsb-weight exponent, integer significand), combined

@@ -80,7 +80,7 @@ def linearise(term: Term) -> tuple[dict[Term, Fraction], Fraction]:
             if right.op == Op.REAL_CONST:
                 return walk(left, factor * right.payload)
             raise UnsupportedFeatureError(
-                "non-linear real multiplication (DESIGN.md section 6)")
+                "non-linear real multiplication (DESIGN.md section 7)")
         if node.op == Op.REAL_DIV:
             left, right = node.args
             if right.op == Op.REAL_CONST:

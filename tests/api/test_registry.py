@@ -20,8 +20,9 @@ def _problem(name="rg_x", width=8, bound=100):
 
 class TestResolution:
     def test_canonical_names(self):
-        assert available_counters() == ("cdm", "enum", "pact:prime",
-                                        "pact:shift", "pact:xor")
+        assert available_counters() == ("cdm", "enum", "exact:cc",
+                                        "pact:prime", "pact:shift",
+                                        "pact:xor")
 
     def test_legacy_configuration_aliases(self):
         """harness/runner configuration names resolve unchanged."""

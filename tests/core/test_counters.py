@@ -47,6 +47,25 @@ class TestEnum:
         assert result.status == "limit"
         assert result.estimate is None
 
+    def test_limit_surfaces_partial_count_as_lower_bound(self):
+        """The partial enumeration is not thrown away: the LIMIT result
+        keeps its accounting and states the lower bound in detail."""
+        x = bv_var("en_lbx", 8)
+        result = exact_count([bv_ult(x, bv_val(200, 8))], [x], limit=50)
+        # 51 models were enumerated before the cap tripped.
+        assert "at least 51 projected solutions" in result.detail
+        assert "lower bound" in result.detail
+        assert result.solver_calls == 51
+        assert result.time_seconds > 0
+        assert not result.solved
+
+    def test_limit_not_tripped_exactly_at_count(self):
+        """limit == exact count must finish OK (the cap is strict)."""
+        x = bv_var("en_lex", 8)
+        result = exact_count([bv_ult(x, bv_val(50, 8))], [x], limit=50)
+        assert result.status == "ok"
+        assert result.estimate == 50
+
 
 class TestPactSmallExact:
     """Line 3-4 of Algorithm 1: small spaces are counted exactly."""
@@ -226,6 +245,8 @@ class TestCdm:
         assert result.solved
         assert within_tolerance(90, result.estimate)
 
+    # a wall-clock comparison of two full counter runs — slow-job fare
+    @pytest.mark.slow
     def test_cdm_slower_than_pact_xor(self):
         """The paper's central performance claim, at miniature scale."""
         x = bv_var("cdm_px", 7)

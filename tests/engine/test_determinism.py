@@ -38,6 +38,9 @@ def test_pact_parallel_matches_serial(family, backend):
     assert parallel.iterations == ITERATIONS
 
 
+# cdm's q-fold composition makes this the suite's slowest property
+# test; it runs in the slow CI job, not tier-1.
+@pytest.mark.slow
 def test_cdm_parallel_matches_serial():
     # CDM self-composes the formula q times, so keep the space small.
     x = bv_var("det_cdm", 7)

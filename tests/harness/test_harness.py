@@ -162,6 +162,43 @@ class TestAccuracy:
         assert "relative_error" in accuracy_csv(records)
 
 
+class TestExactGroundTruth:
+    def test_sets_and_cross_checks_counts(self):
+        from repro.harness.accuracy import exact_ground_truth
+        instance = qf_bvfp(3, width=7)
+        analytic = instance.known_count
+        exact_ground_truth([instance])
+        assert instance.known_count == analytic  # verified, unchanged
+
+    def test_disagreement_raises(self):
+        from repro.errors import CounterError
+        from repro.harness.accuracy import exact_ground_truth
+        instance = qf_bvfp(3, width=7)
+        instance.known_count = (instance.known_count or 0) + 1
+        with pytest.raises(CounterError, match="disagreement"):
+            exact_ground_truth([instance])
+
+    def test_counter_refusal_keeps_analytic_count(self):
+        """An instance the exact engine cannot take (here: more LRA
+        atoms than the closure cap) keeps its analytic ground truth
+        instead of killing the experiment."""
+        from repro.benchgen.spec import Instance
+        from repro.count_exact import MAX_CLOSURE_ATOMS
+        from repro.harness.accuracy import exact_ground_truth
+        from repro.smt import bv_ult, bv_val, bv_var, real_lt, real_val, \
+            real_var
+        x = bv_var("gt_cap", 4)
+        r = real_var("gt_cap_r")
+        assertions = [bv_ult(x, bv_val(9, 4))]
+        assertions += [real_lt(real_val(i), r)
+                       for i in range(MAX_CLOSURE_ATOMS + 1)]
+        instance = Instance(name="gt_cap", logic="QF_BVFPLRA",
+                            cluster="cap", assertions=assertions,
+                            projection=[x], known_count=9)
+        exact_ground_truth([instance])
+        assert instance.known_count == 9
+
+
 class TestReport:
     def test_format_table_alignment(self):
         table = format_table(["a", "bbb"], [[1, 2], [333, 4]],

@@ -1,0 +1,112 @@
+"""ConstraintGraph: propagation, residuals, component splitting."""
+
+from repro.sat.components import ConstraintGraph, TRUE_V, UNSET_V
+
+
+def fresh(graph):
+    return [UNSET_V] * (graph.num_vars + 1), []
+
+
+class TestPropagation:
+    def test_unit_chain(self):
+        # 1 -> 2 -> 3 via binary clauses
+        graph = ConstraintGraph(3, [[-1, 2], [-2, 3]])
+        values, trail = fresh(graph)
+        assert graph.assign(values, trail, 1)
+        assert graph.propagate(values, trail, 0)
+        assert values[1] == values[2] == values[3] == TRUE_V
+        assert trail == [1, 2, 3]
+
+    def test_clause_conflict(self):
+        graph = ConstraintGraph(2, [[1, 2], [-1, 2], [1, -2], [-1, -2]])
+        values, trail = fresh(graph)
+        assert graph.assign(values, trail, 1)
+        assert not graph.propagate(values, trail, 0)
+
+    def test_xor_propagates_last_variable(self):
+        graph = ConstraintGraph(3, [], xors=[((1, 2, 3), True)])
+        values, trail = fresh(graph)
+        graph.assign(values, trail, 1)
+        graph.assign(values, trail, 2)
+        assert graph.propagate(values, trail, 0)
+        assert values[3] == TRUE_V  # 1 xor 1 xor v3 = 1  ->  v3 = 1
+
+    def test_xor_conflict(self):
+        graph = ConstraintGraph(2, [], xors=[((1, 2), False)])
+        values, trail = fresh(graph)
+        graph.assign(values, trail, 1)
+        graph.assign(values, trail, -2)
+        assert not graph.propagate(values, trail, 0)
+
+    def test_assign_contradiction(self):
+        graph = ConstraintGraph(1, [])
+        values, trail = fresh(graph)
+        assert graph.assign(values, trail, 1)
+        assert not graph.assign(values, trail, -1)
+        assert graph.assign(values, trail, 1)  # re-assert is fine
+
+
+class TestResiduals:
+    def test_satisfied_clause_is_inactive(self):
+        graph = ConstraintGraph(2, [[1, 2]])
+        values, trail = fresh(graph)
+        graph.assign(values, trail, 1)
+        assert graph.residual(values, 0) is None
+
+    def test_clause_residual_drops_false_literals(self):
+        graph = ConstraintGraph(3, [[1, 2, 3]])
+        values, trail = fresh(graph)
+        graph.assign(values, trail, -2)
+        assert graph.residual(values, 0) == ("c", (1, 3))
+
+    def test_xor_residual_folds_parity(self):
+        graph = ConstraintGraph(3, [], xors=[((1, 2, 3), True)])
+        values, trail = fresh(graph)
+        graph.assign(values, trail, 1)
+        assert graph.residual(values, 0) == ("x", (2, 3), False)
+        values2, trail2 = fresh(graph)
+        graph.assign(values2, trail2, -1)
+        assert graph.residual(values2, 0) == ("x", (2, 3), True)
+
+
+class TestSplit:
+    def test_disjoint_clauses_are_separate_components(self):
+        graph = ConstraintGraph(4, [[1, 2], [3, 4]])
+        values, trail = fresh(graph)
+        components, free = graph.split(values, range(1, 5))
+        assert [c.variables for c in components] == [(1, 2), (3, 4)]
+        assert [c.constraints for c in components] == [(0,), (1,)]
+        assert free == []
+
+    def test_shared_variable_joins_components(self):
+        graph = ConstraintGraph(3, [[1, 2], [2, 3]])
+        values, trail = fresh(graph)
+        components, _ = graph.split(values, range(1, 4))
+        assert len(components) == 1
+        assert components[0].variables == (1, 2, 3)
+
+    def test_assignment_splits_a_component(self):
+        # assigning the bridge variable 2 satisfies clause 0 and
+        # reduces clause 1; components then split on what remains.
+        graph = ConstraintGraph(4, [[1, 2], [-2, 3, 4]])
+        values, trail = fresh(graph)
+        graph.assign(values, trail, 2)
+        assert graph.propagate(values, trail, 0)
+        components, free = graph.split(values, range(1, 5))
+        assert [c.variables for c in components] == [(3, 4)]
+        assert free == [1]
+
+    def test_unconstrained_scope_variables_are_free(self):
+        graph = ConstraintGraph(5, [[1, 2]])
+        values, trail = fresh(graph)
+        components, free = graph.split(values, range(1, 6))
+        assert [c.variables for c in components] == [(1, 2)]
+        assert free == [3, 4, 5]
+
+    def test_xor_rows_link_components(self):
+        graph = ConstraintGraph(4, [[1, 2]], xors=[((2, 3, 4), True)])
+        values, trail = fresh(graph)
+        components, _ = graph.split(values, range(1, 5))
+        assert len(components) == 1
+        assert components[0].variables == (1, 2, 3, 4)
+        assert components[0].constraints == (0, 1)

@@ -27,6 +27,21 @@ class TestCount:
         code = main(["count", str(smt_file), "--project", "x"])
         assert code == 0
 
+    def test_count_exact_cc_counter(self, smt_file, capsys):
+        assert main(["count", str(smt_file), "--counter",
+                     "exact:cc"]) == 0
+        output = capsys.readouterr().out
+        assert "s exact 20" in output
+        assert "counter exact:cc" in output
+
+    def test_count_counter_overrides_family(self, smt_file, capsys):
+        assert main(["count", str(smt_file), "--family", "prime",
+                     "--counter", "enum"]) == 0
+        assert "counter enum" in capsys.readouterr().out
+
+    def test_count_unknown_counter(self, smt_file):
+        assert main(["count", str(smt_file), "--counter", "nope"]) == 2
+
     def test_count_unknown_projection(self, smt_file):
         assert main(["count", str(smt_file), "--project", "nope"]) == 2
 
