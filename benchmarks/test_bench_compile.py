@@ -21,7 +21,7 @@ import time
 
 import pytest
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, emit_json
 from repro.benchgen.suite import build_suite
 from repro.compile import compile_counters, reset_compile_memo
 from repro.core import PactConfig, pact_count
@@ -156,6 +156,11 @@ def test_compile_report(results_dir):
         f"{len(_exact_speedups)} instances)")
     emit(results_dir, "compile.txt",
          table + "\n" + clause_table + "\n" + summary)
+    emit_json(results_dir, "compile", {
+        "median_speedup": round(median(_speedups), 3),
+        "median_exact_speedup": round(median(_exact_speedups), 3),
+        "measured_instances": len(_speedups),
+    })
     # Compiling once and cloning the snapshot must beat re-blasting
     # every count.  The exact-path workload (build cost dominates) must
     # show a solid win; across all workloads the gate is conservative

@@ -20,7 +20,7 @@ import time
 
 import pytest
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, emit_json
 from repro.api import CountRequest, Problem, resolve
 from repro.benchgen.suite import accuracy_pool, build_suite
 from repro.compile import reset_compile_memo
@@ -136,6 +136,12 @@ def test_exact_report(results_dir):
         f"{len(_frontier_unlocked)}/{len(_frontier_rows)}")
     emit(results_dir, "exact.txt",
          truth_table + "\n" + frontier_table + "\n" + summary)
+    emit_json(results_dir, "exact", {
+        "median_speedup": round(median(_speedups), 3),
+        "ground_truth_instances": len(_speedups),
+        "frontier_unlocked": len(_frontier_unlocked),
+        "frontier_instances": len(_frontier_rows),
+    })
     # The tentpole's acceptance gate: a >=5x median win on the
     # ground-truth workload, or instances unlocked that enumeration
     # cannot touch under the same budget (loaded CI runners may blur

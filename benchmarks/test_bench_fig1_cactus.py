@@ -7,7 +7,7 @@ the benchmark numbers themselves order the four curves.
 
 import pytest
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, emit_json
 from repro.benchgen import build_suite, select_benchmarks
 from repro.harness.cactus import cactus_csv, cactus_plot, cactus_table
 from repro.harness.presets import Preset
@@ -57,3 +57,7 @@ def test_cactus_artifacts(benchmark, results_dir):
     }
     # The xor curve must dominate: most instances solved.
     assert solved["pact_xor"] == max(solved.values())
+    emit_json(results_dir, "fig1_cactus", {
+        "solved_by_configuration": solved,
+        "records": len(records),
+    })

@@ -8,7 +8,7 @@ claim is that observed errors are *far* below it).
 
 import pytest
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, emit_json
 from repro.benchgen.suite import accuracy_pool
 from repro.harness.accuracy import (
     PAPER_ERRORS, accuracy_csv, accuracy_plot, accuracy_table,
@@ -55,3 +55,10 @@ def test_accuracy_artifacts(benchmark, results_dir):
     emit(results_dir, "fig2_accuracy.txt", table + "\n\n" + plot)
     (results_dir / "fig2_accuracy.csv").write_text(accuracy_csv(records))
     print("paper reference errors:", PAPER_ERRORS)
+    errors = [r.relative_error for r in records
+              if r.relative_error is not None]
+    emit_json(results_dir, "fig2_accuracy", {
+        "max_relative_error": round(max(errors), 4),
+        "epsilon_bound": PRESET.epsilon,
+        "measured_records": len(errors),
+    })

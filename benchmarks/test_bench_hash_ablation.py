@@ -16,7 +16,7 @@ import random
 
 import pytest
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, emit_json
 from repro.core.cells import CallCounter, saturating_count
 from repro.core.hashes import generate_hash
 from repro.harness.report import format_table
@@ -80,3 +80,8 @@ def test_ablation_artifact(benchmark, results_dir):
     assert by_family["xor"][3] >= 1
     assert by_family["shift"][2] > 0
     assert by_family["prime"][2] > by_family["shift"][2]
+    emit_json(results_dir, "hash_ablation", {
+        family: {"cnf_clauses": row[2], "xor_rows": row[3],
+                 "oracle_calls": row[4], "conflicts": row[5]}
+        for family, row in by_family.items()
+    })

@@ -19,7 +19,7 @@ import time
 
 import pytest
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, emit_json
 from repro.benchgen.suite import build_suite
 from repro.core import PactConfig, pact_count
 from repro.harness.report import format_table
@@ -100,6 +100,13 @@ def test_incremental_report(results_dir):
         f"median speedup: {median(_speedups):.2f}x over "
         f"{len(_speedups)} measured instances")
     emit(results_dir, "incremental.txt", table + "\n" + summary)
+    emit_json(results_dir, "incremental", {
+        "solver_calls_rebuild": _totals["rebuild"],
+        "solver_calls_ladder": _totals["ladder"],
+        "calls_saved_fraction": round(
+            1 - _totals["ladder"] / max(1, _totals["rebuild"]), 4),
+        "median_speedup": round(median(_speedups), 3),
+    })
     # A bad warm hint may cost a probe on one instance; across the suite
     # the call totals must drop meaningfully — this is deterministic
     # (probe schedules are seed-pure), so the gate is tight.

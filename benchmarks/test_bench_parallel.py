@@ -13,7 +13,7 @@ guarantee the *results* are identical regardless of backend).
 import os
 import time
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, emit_json
 from repro.benchgen.suite import build_suite
 from repro.engine import ExecutionPool, ResultCache, schedule_matrix
 from repro.harness.presets import Preset
@@ -65,6 +65,12 @@ def test_parallel_matrix_wall_clock(results_dir):
                f"({os.cpu_count()} CPUs visible)"))
     emit(results_dir, "parallel_speedup.txt",
          table + f"\n\nspeedup (serial/parallel): {speedup:.2f}x")
+    emit_json(results_dir, "parallel", {
+        "jobs": jobs,
+        "serial_wall_seconds": round(serial_wall, 3),
+        "parallel_wall_seconds": round(parallel_wall, 3),
+        "speedup": round(speedup, 3),
+    })
 
 
 def test_cache_collapses_repeat_run(results_dir, tmp_path):
@@ -89,3 +95,8 @@ def test_cache_collapses_repeat_run(results_dir, tmp_path):
     emit(results_dir, "parallel_cache.txt",
          matrix_summary(warm, PRESET)
          + f"\n\ncold run {cold_wall:.2f}s -> warm run {warm_wall:.3f}s")
+    emit_json(results_dir, "parallel", {
+        "cold_wall_seconds": round(cold_wall, 3),
+        "warm_wall_seconds": round(warm_wall, 3),
+        "cache_hits_on_repeat": warm.cache_hits,
+    })

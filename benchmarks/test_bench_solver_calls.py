@@ -9,7 +9,7 @@ import math
 
 import pytest
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, emit_json
 from repro.core import PactConfig, pact_count
 from repro.harness.report import format_table
 from repro.smt import bv_ult, bv_val, bv_var
@@ -47,6 +47,11 @@ def test_logarithmic_shape(benchmark, results_dir):
         _rows, title="Section III-D: oracle calls vs projection size")
     emit(results_dir, "solver_calls.txt", table)
     per_iter = [float(row[3]) for row in _rows]
+    emit_json(results_dir, "solver_calls", {
+        "calls_per_iteration_by_width": {
+            str(row[0]): float(row[3]) for row in _rows},
+        "growth_ratio": round(per_iter[-1] / max(per_iter[0], 1e-9), 3),
+    })
     # |S| grows 4x (8 -> 32); logarithmic growth means the per-iteration
     # calls grow by far less than 4x.
     assert per_iter[-1] < per_iter[0] * 3.0

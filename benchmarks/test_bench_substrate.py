@@ -6,8 +6,11 @@ simplex, FP circuits).
 """
 
 import random
+import time
 
+import pytest
 
+from benchmarks.conftest import emit_json
 from repro.sat import SatSolver
 from repro.smt import (
     Equals, SmtSolver, bv_mul, bv_val, bv_var, fp_add, fp_to_bv, fp_var,
@@ -116,3 +119,20 @@ def test_incremental_enumeration(benchmark):
         return count
 
     assert benchmark.pedantic(run, rounds=1, iterations=1) == 64
+
+
+_timings = {}
+
+
+@pytest.fixture(autouse=True)
+def _record_wall(request):
+    """Record each micro-benchmark's wall time for the JSON artifact."""
+    start = time.monotonic()
+    yield
+    _timings[request.node.name] = round(time.monotonic() - start, 4)
+
+
+def test_substrate_report(results_dir):
+    assert _timings, "substrate benches must run first"
+    emit_json(results_dir, "substrate",
+              {"wall_seconds": dict(sorted(_timings.items()))})

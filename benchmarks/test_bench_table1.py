@@ -11,7 +11,7 @@ configuration, and strictly more than CDM.
 
 import pytest
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, emit_json
 from repro.benchgen.generators import qf_bvfp
 from repro.harness.presets import Preset
 from repro.harness.runner import run_configuration
@@ -60,3 +60,7 @@ def test_table1_matrix(benchmark, results_dir):
     assert totals["pact_xor"] >= totals["pact_shift"]
     assert totals["pact_xor"] > totals["cdm"]
     assert totals["pact_xor"] > 0
+    emit_json(results_dir, "table1", {
+        "solved_by_configuration": totals,
+        "records": len(records),
+    })

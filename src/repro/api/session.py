@@ -26,7 +26,7 @@ from dataclasses import dataclass
 from repro.api.problem import Problem
 from repro.api.registry import canonical_name, resolve
 from repro.api.request import CountRequest, CountResponse, ProgressEvent
-from repro.engine.cache import ResultCache
+from repro.engine.cache import ResultStore
 from repro.engine.fanout import parse_cached, preseed_parse_memo
 from repro.engine.pool import ExecutionPool, Task, TaskResult
 from repro.errors import CounterError, ReproError
@@ -142,36 +142,52 @@ class Session:
 
     ``jobs``/``backend`` configure the execution pool (``jobs=1`` is the
     serial default; ``jobs=0`` means one worker per CPU); ``cache_dir``
-    enables the fingerprint result cache.  Existing ``pool``/``cache``
-    objects can be injected instead.  ``request`` sets the session's
+    enables the fingerprint result store — a directory opens the JSON
+    :class:`~repro.engine.cache.ResultCache`, a ``.sqlite``/``.db``
+    path (or ``sqlite:`` prefix) the sqlite
+    :class:`~repro.serve.store.SqliteStore`.  Existing ``pool``/
+    ``cache`` objects can be injected instead (``cache`` accepts any
+    :class:`~repro.engine.cache.ResultStore` — the serving layer
+    injects a shared store here).  ``request`` sets the session's
     default :class:`CountRequest`, overridable per call.
 
-    Usable as a context manager; exiting flushes the cache.
+    Usable as a context manager; exiting flushes the store.
     """
 
     def __init__(self, jobs: int = 1, backend: str | None = None,
                  cache_dir=None, pool: ExecutionPool | None = None,
-                 cache: ResultCache | None = None,
+                 cache: ResultStore | None = None,
                  request: CountRequest | None = None):
         self.pool = (pool if pool is not None
                      else ExecutionPool(jobs=jobs, backend=backend))
         if cache is not None:
             self.cache = cache
         elif cache_dir is not None:
-            self.cache = ResultCache(cache_dir)
+            from repro.serve.store import open_store
+            self.cache = open_store(cache_dir)
         else:
             self.cache = None
         self.request = request if request is not None else CountRequest()
+        # Cache TIMEOUT outcomes?  True for batch/CLI runs (a slot that
+        # timed out under this budget will time out again); the serving
+        # layer sets False — there a timeout may reflect queue wait or a
+        # drain cancellation, not the request's nominal budget, and must
+        # not poison the store.
+        self.store_timeouts = True
 
     # ------------------------------------------------------------------
     # the three verbs
     # ------------------------------------------------------------------
     def count(self, problem: Problem, request: CountRequest | None = None,
-              *, progress=None, **overrides) -> CountResponse:
+              *, progress=None, deadline=None, **overrides) -> CountResponse:
         """Count one problem with one counter.
 
         When the session pool is parallel the counter's independent
         median iterations fan out across it (bit-identical to serial).
+        ``deadline`` (a :class:`~repro.utils.deadline.Deadline`, e.g. a
+        :class:`~repro.utils.deadline.CooperativeDeadline` sharing a
+        cancel token) is forwarded to the counter so an external front —
+        the serving layer's drain path — can cut the run short.
         """
         request = self._request_of(request, overrides)
         counter = resolve(request.counter)
@@ -185,7 +201,7 @@ class Session:
         start = time.monotonic()
         try:
             response = counter.count(
-                problem, request,
+                problem, request, deadline=deadline,
                 pool=self.pool if self.pool.parallel else None)
         except ReproError as error:
             response = CountResponse(
@@ -433,7 +449,9 @@ class Session:
     def _store(self, fingerprint, response: CountResponse) -> None:
         if fingerprint is None or self.cache is None:
             return
-        if response.status in (Status.OK, Status.TIMEOUT):
+        if response.status is Status.OK or (
+                self.store_timeouts
+                and response.status is Status.TIMEOUT):
             self.cache.put(fingerprint, response.to_payload())
 
     def _response_of(self, task_result: TaskResult, problem: str,

@@ -15,6 +15,11 @@ Subcommands::
     pact compile FILE.smt2 [--project x,y] [--no-simplify]
                          [--out FILE.cnf] [--quiet]
     pact generate --logic QF_BVFP --out DIR [--count N] [--width W]
+    pact serve    [--host H] [--port P] [--workers N] [--queue-depth N]
+                  [--watermark N] [--tenant-limit N] [--jobs N]
+                  [--backend B] [--cache-dir DIR|FILE.sqlite]
+                  [--store auto|json|sqlite] [--no-cache]
+                  [--default-timeout T] [--drain-timeout T]
     pact run      [--preset smoke|laptop|paper] [--jobs N] [--backend B]
                   [--cache-dir DIR] [--no-cache] [--out DIR]
     pact table1   [--preset smoke|laptop|paper] [--jobs N] [--out DIR]
@@ -41,6 +46,7 @@ from __future__ import annotations
 
 import argparse
 import pathlib
+import signal
 import sys
 
 from repro.api import (
@@ -184,11 +190,91 @@ def _cmd_generate(args) -> int:
     return 0
 
 
+def _serve_store(args):
+    """The result store for ``pact serve`` (None with ``--no-cache``).
+
+    ``--store sqlite`` inside a directory target places the database at
+    ``DIR/pact-cache.sqlite``; a ``.sqlite``/``.db`` ``--cache-dir``
+    selects sqlite on its own; ``--store json`` forces the JSON cache.
+    """
+    from repro.engine.cache import ResultCache
+    from repro.serve.store import SQLITE_SUFFIXES, open_store
+
+    if args.no_cache:
+        return None
+    target = args.cache_dir or ".pact-cache"
+    if args.store == "json":
+        return ResultCache(target)
+    if (args.store == "sqlite"
+            and not str(target).endswith(SQLITE_SUFFIXES)):
+        target = str(pathlib.Path(target) / "pact-cache.sqlite")
+    return open_store(target)
+
+
+async def _serve_main(session, config) -> int:
+    """Run one service until SIGINT/SIGTERM, then drain and summarise."""
+    import asyncio
+
+    from repro.serve import CountingService
+
+    service = CountingService(session, config)
+    await service.start()
+    print(f"c serving on {service.address} "
+          f"(workers={config.workers}, queue={config.queue_depth}, "
+          f"store={getattr(session.cache, 'path', None)})", flush=True)
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        loop.add_signal_handler(signum, stop.set)
+    await stop.wait()
+    print(f"c draining (up to {config.drain_timeout:.0f}s) ...",
+          flush=True)
+    summary = await service.shutdown()
+    session.close()
+    for name, value in summary["counters"].items():
+        print(f"c {name} {value}")
+    for name, digest in summary["histograms"].items():
+        print(f"c {name} count={digest['count']} "
+              f"p50={digest['p50']:.3f}s p99={digest['p99']:.3f}s")
+    print("c shutdown complete", flush=True)
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.serve import ServeConfig
+
+    session = Session(jobs=args.jobs, backend=args.backend,
+                      cache=_serve_store(args))
+    config = ServeConfig(
+        host=args.host, port=args.port, workers=args.workers,
+        queue_depth=args.queue_depth, high_watermark=args.watermark,
+        tenant_limit=args.tenant_limit,
+        default_timeout=args.default_timeout,
+        drain_timeout=args.drain_timeout)
+    return asyncio.run(_serve_main(session, config))
+
+
 def _progress_printer(record) -> None:
     status = "ok" if record.solved else record.status
     source = "cache" if record.cached else f"{record.time_seconds:6.2f}s"
     print(f"  [{record.configuration:>10}] {record.instance:<32} "
           f"{status:>8} {source:>8}", flush=True)
+
+
+def _sigterm_as_interrupt() -> None:
+    """Long CLI runs drain on SIGTERM exactly as on Ctrl-C: the pool
+    cancels pending slots, the scheduler flushes the cache, and partial
+    results still land on disk (instead of dying mid-write)."""
+
+    def handler(signum, frame):
+        raise KeyboardInterrupt
+
+    try:
+        signal.signal(signal.SIGTERM, handler)
+    except ValueError:
+        pass   # not the main thread (embedded use): keep the default
 
 
 def _cmd_run(args) -> int:
@@ -206,9 +292,13 @@ def _cmd_run(args) -> int:
           f"(preset={preset.name}, jobs={pool.jobs}, "
           f"backend={pool.backend}, "
           f"cache={'off' if cache is None else cache.path})")
+    _sigterm_as_interrupt()
     run = schedule_matrix(
         instances, preset, pool=pool, cache=cache,
         progress=_progress_printer if args.verbose else None)
+    if run.interrupted:
+        print(f"c interrupted: {len(run.records)} slots completed were "
+              f"persisted; the summary below is partial")
 
     summary = matrix_summary(run, preset)
     table = format_table(
@@ -361,6 +451,34 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--width", type=int, default=10)
     generate.add_argument("--seed", type=int, default=0)
     generate.set_defaults(handler=_cmd_generate)
+
+    serve = sub.add_parser(
+        "serve",
+        help="the always-on async counting service (HTTP/JSON)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8991,
+                       help="listen port (0 = OS-assigned)")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="concurrent counting worker threads")
+    serve.add_argument("--queue-depth", type=int, default=256,
+                       help="hard queue capacity")
+    serve.add_argument("--watermark", type=int, default=None,
+                       help="admission cutoff depth "
+                            "(default: --queue-depth)")
+    serve.add_argument("--tenant-limit", type=int, default=None,
+                       help="max in-flight jobs per tenant")
+    serve.add_argument("--default-timeout", type=float, default=300.0,
+                       help="per-request budget when the request "
+                            "names none (seconds)")
+    serve.add_argument("--drain-timeout", type=float, default=10.0,
+                       help="seconds to finish in-flight work on "
+                            "SIGINT/SIGTERM before cancelling it")
+    serve.add_argument("--store", default="auto",
+                       choices=["auto", "json", "sqlite"],
+                       help="result store backend (auto: sqlite when "
+                            "--cache-dir names a .sqlite/.db file)")
+    _add_engine_arguments(serve)
+    serve.set_defaults(handler=_cmd_serve)
 
     run = sub.add_parser(
         "run", help="the evaluation matrix with pool + result cache")

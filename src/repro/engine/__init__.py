@@ -11,15 +11,17 @@ Everything concurrent lives here, behind three seams:
 * :mod:`repro.engine.scheduler` — the evaluation-matrix scheduler:
   (configuration, instance) slots dispatched across a pool with
   per-slot budgets, live progress and the fingerprint result cache;
-* :mod:`repro.engine.cache` — the JSON-on-disk result cache keyed by
-  canonical formula fingerprints.
+* :mod:`repro.engine.cache` — the :class:`ResultStore` interface
+  (fingerprint-keyed results + digest-keyed compiled artifacts) and its
+  JSON-on-disk implementation; the sqlite backend lives in
+  :mod:`repro.serve.store`.
 
 See DESIGN.md ("The engine subsystem") for the determinism contract and
 the cache format.
 """
 
 from repro.engine.cache import (
-    ResultCache, formula_fingerprint, script_fingerprint,
+    ResultCache, ResultStore, formula_fingerprint, script_fingerprint,
 )
 from repro.engine.fanout import IterationSpec, make_spec, run_iteration
 from repro.engine.pool import BACKENDS, ExecutionPool, Task, TaskResult
@@ -27,7 +29,7 @@ from repro.engine.scheduler import MatrixRun, SlotSpec, schedule_matrix
 
 __all__ = [
     "BACKENDS", "ExecutionPool", "IterationSpec", "MatrixRun",
-    "ResultCache", "SlotSpec", "Task", "TaskResult",
+    "ResultCache", "ResultStore", "SlotSpec", "Task", "TaskResult",
     "formula_fingerprint", "make_spec", "run_iteration",
     "schedule_matrix", "script_fingerprint",
 ]

@@ -1,14 +1,25 @@
-"""The persistent result cache: JSON on disk, keyed by formula fingerprint.
+"""The persistent result store: fingerprint-keyed results + artifacts.
 
 A *fingerprint* canonically identifies a counting problem; the algorithm
 lives with the problem object (:func:`repro.api.problem.fingerprint_terms`
-— the cache stores results, it does not know which counter parameters
+— the store keeps results, it does not know which counter parameters
 matter).  :func:`formula_fingerprint` stays as a delegating alias for the
 engine-level callers.  Fingerprints are stable across runs and machines:
 two structurally identical formulas built in different processes print
 identically.
 
-On disk the cache is a single JSON document::
+Two pieces live here:
+
+* :class:`ResultStore` — the abstract interface every persistent
+  result+artifact backend implements: fingerprint-keyed result payloads
+  (``get``/``put``/``flush``) and digest-keyed compiled artifacts
+  (``get_artifact``/``put_artifact``/``has_artifact``), plus uniform
+  hit/miss/eviction accounting.  :class:`repro.api.session.Session` and
+  the serving layer (:mod:`repro.serve`) program against this interface;
+  the sqlite backend lives in :mod:`repro.serve.store`.
+* :class:`ResultCache` — the original JSON-on-disk implementation.
+
+On disk the JSON cache is a single document::
 
     {
       "version": 1,
@@ -29,19 +40,28 @@ least-recently-used eviction: result recency is tracked per entry
 artifact recency is the file's mtime, refreshed on read.  Eviction
 counts appear in :attr:`stats`.
 
-Writes are atomic (temp file + ``os.replace``) and the orchestrating
-process is the only writer — workers return results, the scheduler
-stores them — so no cross-process locking is needed.  A corrupt or
-foreign file (or a corrupt individual entry) is treated as empty rather
-than fatal: the cache is an accelerator, never a correctness dependency.
+Writes are atomic (temp file + fsync + ``os.replace``) and
+**merge-on-write**: :meth:`flush` re-reads the on-disk document and
+folds in entries another process persisted since our load, so several
+cooperating processes (CLI runs, ``pact serve`` workers) sharing one
+directory lose no rows — for a fingerprint written by both sides the
+local row wins (it is the newest observation).  A corrupt or foreign
+file (or a corrupt individual entry) is treated as empty rather than
+fatal: the cache is an accelerator, never a correctness dependency —
+but with atomic writes that tolerance is a fallback, not a load-bearing
+path.  All mutating operations take an internal lock, so one store
+instance may be shared by concurrent threads (the serving layer's
+worker threads do).
 """
 
 from __future__ import annotations
 
+import abc
 import hashlib
 import json
 import os
 import tempfile
+import threading
 import time
 from pathlib import Path
 from typing import Mapping
@@ -50,6 +70,9 @@ CACHE_VERSION = 1
 DEFAULT_FILENAME = "pact-cache.json"
 ARTIFACT_DIRNAME = "artifacts"
 DEFAULT_MAX_ARTIFACTS = 256
+# Leftover ``.*.tmp`` files from a crashed writer are swept at flush
+# once they are old enough that no live writer can still own them.
+STALE_TEMP_SECONDS = 600.0
 
 
 def formula_fingerprint(assertions, projection,
@@ -75,8 +98,121 @@ def script_fingerprint(script: str, params: Mapping | None = None) -> str:
     return hashlib.sha256("\n".join(pieces).encode()).hexdigest()
 
 
-class ResultCache:
-    """Fingerprint -> result payload store with hit/miss accounting.
+def _write_atomic(directory: Path, target: Path, prefix: str,
+                  payload) -> None:
+    """Serialise ``payload`` to ``target`` via temp file + fsync +
+    ``os.replace`` — a reader (or a concurrent writer's reader half)
+    can never observe a torn document, and a crash mid-write leaves the
+    previous version intact."""
+    handle, temp_path = tempfile.mkstemp(
+        dir=directory, prefix=prefix, suffix=".tmp")
+    try:
+        with os.fdopen(handle, "w") as stream:
+            json.dump(payload, stream, indent=1, sort_keys=True)
+            stream.flush()
+            os.fsync(stream.fileno())
+        os.replace(temp_path, target)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise
+
+
+def _sweep_stale_temps(directory: Path) -> None:
+    """Remove temp files abandoned by a crashed writer.
+
+    Only files past :data:`STALE_TEMP_SECONDS` go — a younger temp may
+    belong to a live writer about to ``os.replace`` it."""
+    try:
+        candidates = list(directory.glob(".*.tmp"))
+    except OSError:
+        return
+    horizon = time.time() - STALE_TEMP_SECONDS
+    for path in candidates:
+        try:
+            if path.stat().st_mtime < horizon:
+                path.unlink()
+        except OSError:
+            pass
+
+
+class ResultStore(abc.ABC):
+    """The persistent result+artifact store interface.
+
+    Implementations key result payloads (plain JSON-able mappings, see
+    :func:`repro.api.request.result_payload`) by canonical formula
+    fingerprints and compiled-artifact payloads by compile digests —
+    the same keys regardless of backend, so a session can switch
+    backends and keep hitting.  Mutations may be buffered until
+    :meth:`flush`; implementations must make ``flush`` safe to call
+    concurrently with reads and safe under multiple processes sharing
+    one store.  All implementations count ``hits``/``misses``/
+    ``evictions`` (results) and ``artifact_hits``/``artifact_misses``/
+    ``artifact_evictions`` the same way so :attr:`stats` is uniform.
+    """
+
+    hits = 0
+    misses = 0
+    evictions = 0
+    artifact_hits = 0
+    artifact_misses = 0
+    artifact_evictions = 0
+
+    # -- results -------------------------------------------------------
+    @abc.abstractmethod
+    def get(self, fingerprint: str) -> dict | None:
+        """Look up a result payload, counting the hit or miss."""
+
+    @abc.abstractmethod
+    def put(self, fingerprint: str, payload: Mapping) -> None:
+        """Record a result payload under ``fingerprint``."""
+
+    @abc.abstractmethod
+    def flush(self) -> None:
+        """Persist buffered mutations (and enforce any LRU bound)."""
+
+    # -- compiled artifacts -------------------------------------------
+    @abc.abstractmethod
+    def get_artifact(self, digest: str, simplified: bool = True) -> dict | None:
+        """Load a compiled-artifact payload (None on miss/corruption)."""
+
+    @abc.abstractmethod
+    def has_artifact(self, digest: str, simplified: bool = True) -> bool:
+        """Existence check without touching hit/miss accounting."""
+
+    @abc.abstractmethod
+    def put_artifact(self, digest: str, payload: Mapping,
+                     simplified: bool = True) -> None:
+        """Persist a compiled-artifact payload."""
+
+    # -- lifecycle -----------------------------------------------------
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Number of result entries currently visible."""
+
+    def close(self) -> None:
+        """Flush and release any backend resources."""
+        self.flush()
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def stats(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "entries": len(self), "evictions": self.evictions,
+                "artifact_hits": self.artifact_hits,
+                "artifact_misses": self.artifact_misses,
+                "artifact_evictions": self.artifact_evictions}
+
+
+class ResultCache(ResultStore):
+    """Fingerprint -> result payload store, JSON on disk.
 
     ``max_entries`` bounds the result document (LRU eviction at flush);
     ``max_artifacts`` bounds the artifact directory (LRU by file mtime).
@@ -103,50 +239,54 @@ class ResultCache:
         self.artifact_evictions = 0
         self._entries: dict[str, dict] | None = None
         self._dirty = False
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
+    def _read_document(self) -> dict[str, dict]:
+        """The entries of the on-disk document (empty on absence or
+        corruption; corrupt individual entries are dropped, not fatal)."""
+        try:
+            document = json.loads(self.path.read_text())
+        except (OSError, ValueError):
+            return {}
+        if (isinstance(document, dict)
+                and document.get("version") == CACHE_VERSION
+                and isinstance(document.get("entries"), dict)):
+            return {fingerprint: entry
+                    for fingerprint, entry in document["entries"].items()
+                    if isinstance(entry, dict)}
+        return {}
+
     def _load(self) -> dict[str, dict]:
-        if self._entries is None:
-            self._entries = {}
-            try:
-                document = json.loads(self.path.read_text())
-                if (isinstance(document, dict)
-                        and document.get("version") == CACHE_VERSION
-                        and isinstance(document.get("entries"), dict)):
-                    # Tolerate corrupt individual entries: a payload
-                    # that is not a mapping is dropped, not fatal.
-                    self._entries = {
-                        fingerprint: entry
-                        for fingerprint, entry in
-                        document["entries"].items()
-                        if isinstance(entry, dict)
-                    }
-            except (OSError, ValueError):
-                pass  # missing or corrupt cache: start empty
-        return self._entries
+        with self._lock:
+            if self._entries is None:
+                self._entries = self._read_document()
+            return self._entries
 
     def get(self, fingerprint: str) -> dict | None:
         """Look up a payload, counting the hit or miss."""
-        entry = self._load().get(fingerprint)
-        if entry is None:
-            self.misses += 1
-            return None
-        self.hits += 1
-        if self.max_entries is not None:
-            # Refresh recency for the LRU bound; persisted so recency
-            # survives across runs.  Unbounded caches skip the stamp so
-            # an all-hit run stays read-only (no document rewrite).
-            entry["used_at"] = time.time()
-            self._dirty = True
-        return dict(entry)
+        with self._lock:
+            entry = self._load().get(fingerprint)
+            if entry is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            if self.max_entries is not None:
+                # Refresh recency for the LRU bound; persisted so recency
+                # survives across runs.  Unbounded caches skip the stamp so
+                # an all-hit run stays read-only (no document rewrite).
+                entry["used_at"] = time.time()
+                self._dirty = True
+            return dict(entry)
 
     def put(self, fingerprint: str, payload: Mapping) -> None:
         record = dict(payload)
         now = time.time()
         record.setdefault("saved_at", now)
         record["used_at"] = now
-        self._load()[fingerprint] = record
-        self._dirty = True
+        with self._lock:
+            self._load()[fingerprint] = record
+            self._dirty = True
 
     def _evict_over_bound(self) -> None:
         if self.max_entries is None:
@@ -165,26 +305,26 @@ class ResultCache:
         self._dirty = True
 
     def flush(self) -> None:
-        """Atomically persist the cache if anything changed, evicting
-        least-recently-used entries beyond ``max_entries`` first."""
-        if not self._dirty:
-            return
-        self._evict_over_bound()
-        self.directory.mkdir(parents=True, exist_ok=True)
-        document = {"version": CACHE_VERSION, "entries": self._load()}
-        handle, temp_path = tempfile.mkstemp(
-            dir=self.directory, prefix=".cache-", suffix=".tmp")
-        try:
-            with os.fdopen(handle, "w") as stream:
-                json.dump(document, stream, indent=1, sort_keys=True)
-            os.replace(temp_path, self.path)
-        except BaseException:
-            try:
-                os.unlink(temp_path)
-            except OSError:
-                pass
-            raise
-        self._dirty = False
+        """Atomically persist the cache if anything changed.
+
+        Merge-on-write: entries another process flushed since our load
+        are folded in first (local rows win on conflict — they are the
+        newest observation), then least-recently-used entries beyond
+        ``max_entries`` are evicted, then the document is replaced
+        atomically (temp + fsync + ``os.replace``).
+        """
+        with self._lock:
+            if not self._dirty:
+                return
+            entries = self._load()
+            for fingerprint, entry in self._read_document().items():
+                entries.setdefault(fingerprint, entry)
+            self._evict_over_bound()
+            self.directory.mkdir(parents=True, exist_ok=True)
+            document = {"version": CACHE_VERSION, "entries": entries}
+            _write_atomic(self.directory, self.path, ".cache-", document)
+            _sweep_stale_temps(self.directory)
+            self._dirty = False
 
     # ------------------------------------------------------------------
     # compiled artifacts (one file per digest, LRU by mtime)
@@ -219,21 +359,12 @@ class ResultCache:
     def put_artifact(self, digest: str, payload: Mapping,
                      simplified: bool = True) -> None:
         """Persist a compiled-artifact payload (atomic, then LRU-trim)."""
-        self.artifact_dir.mkdir(parents=True, exist_ok=True)
-        handle, temp_path = tempfile.mkstemp(
-            dir=self.artifact_dir, prefix=".artifact-", suffix=".tmp")
-        try:
-            with os.fdopen(handle, "w") as stream:
-                json.dump(dict(payload), stream)
-            os.replace(temp_path,
-                       self._artifact_path(digest, simplified))
-        except BaseException:
-            try:
-                os.unlink(temp_path)
-            except OSError:
-                pass
-            raise
-        self._trim_artifacts()
+        with self._lock:
+            self.artifact_dir.mkdir(parents=True, exist_ok=True)
+            _write_atomic(self.artifact_dir,
+                          self._artifact_path(digest, simplified),
+                          ".artifact-", dict(payload))
+            self._trim_artifacts()
 
     def _trim_artifacts(self) -> None:
         if self.max_artifacts is None:
@@ -263,17 +394,6 @@ class ResultCache:
 
     def __enter__(self) -> "ResultCache":
         return self
-
-    def __exit__(self, *exc_info) -> None:
-        self.flush()
-
-    @property
-    def stats(self) -> dict:
-        return {"hits": self.hits, "misses": self.misses,
-                "entries": len(self), "evictions": self.evictions,
-                "artifact_hits": self.artifact_hits,
-                "artifact_misses": self.artifact_misses,
-                "artifact_evictions": self.artifact_evictions}
 
     def __repr__(self) -> str:
         return (f"ResultCache({self.path}, entries={len(self)}, "

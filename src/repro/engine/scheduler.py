@@ -53,6 +53,9 @@ class MatrixRun:
     cache_misses: int = 0
     # worker tag -> [slots completed, busy seconds]
     worker_times: dict[str, list] = field(default_factory=dict)
+    # True when the run was cut short (Ctrl-C / SIGTERM): records holds
+    # the completed prefix and the cache was still flushed.
+    interrupted: bool = False
 
     @property
     def solved(self) -> int:
@@ -185,7 +188,14 @@ def schedule_matrix(instances: list[Instance], preset: Preset,
         if progress is not None:
             progress(record)
 
-    pool.run(tasks, progress=on_complete)
+    interrupted = False
+    try:
+        pool.run(tasks, progress=on_complete)
+    except KeyboardInterrupt:
+        # Graceful drain: the pool has already cancelled pending slots;
+        # keep every completed record and persist them below instead of
+        # dying mid-write.
+        interrupted = True
     if cache is not None:
         cache.flush()
 
@@ -195,4 +205,5 @@ def schedule_matrix(instances: list[Instance], preset: Preset,
         cache_hits=cache_hits,
         cache_misses=len(tasks) if cache is not None else 0,
         worker_times={tag: list(times)
-                      for tag, times in pool.worker_times.items()})
+                      for tag, times in pool.worker_times.items()},
+        interrupted=interrupted)

@@ -1,0 +1,227 @@
+"""A minimal HTTP/1.1 layer over asyncio streams — stdlib only.
+
+The serving layer needs exactly four things from HTTP: parse a request
+(line, headers, ``Content-Length`` body), serialise a response, hold a
+keep-alive loop, and a tiny client for tests/benchmarks/smoke.  The
+stdlib has servers (``http.server``) but nothing asyncio-native, and the
+repo takes no runtime dependencies, so this module implements that
+subset directly:
+
+* requests are limited (request line + each header line 16 KiB, body
+  8 MiB) and malformed input raises :class:`HttpError` with the right
+  status (400/413/431) rather than hanging a worker;
+* responses always carry ``Content-Length`` (no chunked encoding), so
+  keep-alive framing is trivially correct;
+* ``Connection: close`` from either side ends the connection after the
+  in-flight exchange, HTTP/1.0 defaults to close, HTTP/1.1 to
+  keep-alive.
+
+No routing, no TLS, no chunked bodies, no multipart — the service
+(:mod:`repro.serve.server`) does routing, and everything it speaks is
+small JSON documents.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from urllib.parse import parse_qsl, urlsplit
+
+__all__ = ["HttpError", "HttpRequest", "http_request", "read_request",
+           "response_bytes"]
+
+MAX_LINE_BYTES = 16 * 1024
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+REASONS = {
+    200: "OK", 202: "Accepted", 204: "No Content",
+    400: "Bad Request", 404: "Not Found", 405: "Method Not Allowed",
+    408: "Request Timeout", 413: "Payload Too Large",
+    429: "Too Many Requests", 431: "Request Header Fields Too Large",
+    500: "Internal Server Error", 503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """A protocol-level failure with the status to answer with."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request; header names are lower-cased."""
+
+    method: str
+    path: str
+    query: dict = field(default_factory=dict)
+    headers: dict = field(default_factory=dict)
+    body: bytes = b""
+    version: str = "HTTP/1.1"
+
+    @property
+    def keep_alive(self) -> bool:
+        connection = self.headers.get("connection", "").lower()
+        if self.version == "HTTP/1.0":
+            return connection == "keep-alive"
+        return connection != "close"
+
+    def json(self) -> dict:
+        """The body as a JSON object (400 on anything else)."""
+        if not self.body:
+            return {}
+        try:
+            document = json.loads(self.body)
+        except ValueError as error:
+            raise HttpError(400, f"invalid JSON body: {error}") from None
+        if not isinstance(document, dict):
+            raise HttpError(400, "JSON body must be an object")
+        return document
+
+
+async def _read_line(reader: asyncio.StreamReader) -> bytes:
+    try:
+        line = await reader.readuntil(b"\n")
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return b""        # clean EOF between requests
+        raise HttpError(400, "truncated request") from None
+    except asyncio.LimitOverrunError:
+        raise HttpError(431, "header line too long") from None
+    if len(line) > MAX_LINE_BYTES:
+        raise HttpError(431, "header line too long")
+    return line.rstrip(b"\r\n")
+
+
+async def read_request(reader: asyncio.StreamReader) -> HttpRequest | None:
+    """Parse one request; ``None`` on a clean EOF (client closed a
+    keep-alive connection between requests)."""
+    start = await _read_line(reader)
+    if not start:
+        return None
+    parts = start.decode("latin-1").split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+        raise HttpError(400, "malformed request line")
+    method, target, version = parts
+    split = urlsplit(target)
+    headers: dict[str, str] = {}
+    while True:
+        line = await _read_line(reader)
+        if not line:
+            break
+        name, separator, value = line.decode("latin-1").partition(":")
+        if not separator:
+            raise HttpError(400, "malformed header line")
+        headers[name.strip().lower()] = value.strip()
+        if len(headers) > 100:
+            raise HttpError(431, "too many headers")
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise HttpError(400, "bad Content-Length") from None
+        if length < 0:
+            raise HttpError(400, "bad Content-Length")
+        if length > MAX_BODY_BYTES:
+            raise HttpError(413, "body too large")
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise HttpError(400, "truncated body") from None
+    elif headers.get("transfer-encoding"):
+        raise HttpError(400, "chunked bodies are not supported")
+    return HttpRequest(method=method.upper(), path=split.path,
+                       query=dict(parse_qsl(split.query)),
+                       headers=headers, body=body, version=version)
+
+
+def response_bytes(status: int, body=None, *,
+                   content_type: str | None = None,
+                   headers: dict | None = None,
+                   keep_alive: bool = True) -> bytes:
+    """Serialise one response.  ``body`` may be a dict (JSON), str
+    (text/plain) or bytes; ``Content-Length`` is always present."""
+    if isinstance(body, dict):
+        payload = (json.dumps(body, sort_keys=True) + "\n").encode()
+        content_type = content_type or "application/json"
+    elif isinstance(body, str):
+        payload = body.encode()
+        content_type = content_type or "text/plain; charset=utf-8"
+    elif body is None:
+        payload = b""
+    else:
+        payload = bytes(body)
+        content_type = content_type or "application/octet-stream"
+    reason = REASONS.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {reason}",
+             f"Content-Length: {len(payload)}",
+             f"Connection: {'keep-alive' if keep_alive else 'close'}"]
+    if payload and content_type:
+        lines.append(f"Content-Type: {content_type}")
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    return head + payload
+
+
+async def http_request(host: str, port: int, method: str, path: str,
+                       body: dict | bytes | None = None,
+                       headers: dict | None = None,
+                       reader_writer=None):
+    """A one-shot (or reusable) client: returns ``(status, headers,
+    body_bytes)``.  Pass ``reader_writer`` (from a previous call's
+    connection, see :func:`open_client`) to reuse a keep-alive
+    connection; otherwise a fresh connection is opened and closed.
+    Used by the tests, the load benchmark and the CI smoke — the same
+    wire format the server speaks, with no third-party client.
+    """
+    own_connection = reader_writer is None
+    if own_connection:
+        reader, writer = await asyncio.open_connection(host, port)
+    else:
+        reader, writer = reader_writer
+    try:
+        if isinstance(body, dict):
+            payload = json.dumps(body).encode()
+            content_type = "application/json"
+        else:
+            payload = body or b""
+            content_type = "application/octet-stream"
+        lines = [f"{method} {path} HTTP/1.1", f"Host: {host}:{port}",
+                 f"Content-Length: {len(payload)}"]
+        if payload:
+            lines.append(f"Content-Type: {content_type}")
+        for name, value in (headers or {}).items():
+            lines.append(f"{name}: {value}")
+        if own_connection:
+            lines.append("Connection: close")
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode()
+                     + payload)
+        await writer.drain()
+        status_line = await reader.readline()
+        parts = status_line.decode("latin-1").split(maxsplit=2)
+        if len(parts) < 2:
+            raise HttpError(500, "malformed response line")
+        status = int(parts[1])
+        response_headers: dict[str, str] = {}
+        while True:
+            line = (await reader.readline()).rstrip(b"\r\n")
+            if not line:
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            response_headers[name.strip().lower()] = value.strip()
+        length = int(response_headers.get("content-length", "0"))
+        data = await reader.readexactly(length) if length else b""
+        return status, response_headers, data
+    finally:
+        if own_connection:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass

@@ -1,0 +1,201 @@
+"""The serving layer's metrics registry.
+
+Three instrument kinds — monotone :class:`Counter`, point-in-time
+:class:`Gauge` (with high-water tracking, which the back-pressure
+assertions need), and :class:`Histogram` (streaming count/sum plus a
+bounded reservoir of recent observations for p50/p99) — behind one
+:class:`MetricsRegistry` that renders both the ``GET /metrics``
+text exposition (Prometheus-style ``name{label="v"} value`` lines) and
+the structured dict the shutdown summary and the bench artifact use.
+
+Instruments are keyed by (name, labels) and created on first use, so
+call sites just write ``metrics.counter("requests_total",
+route="/count").inc()``.  Everything is lock-guarded: the event loop,
+worker threads and the metrics scrape all touch the registry
+concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+RESERVOIR_SIZE = 4096
+
+
+def _labels_key(labels: dict) -> tuple:
+    return tuple(sorted(labels.items()))
+
+
+def _labels_text(labels: dict) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{key}="{value}"'
+                     for key, value in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+class Counter:
+    """A monotone event count."""
+
+    __slots__ = ("_lock", "value")
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self.value += amount
+
+
+class Gauge:
+    """A point-in-time level, remembering its high-water mark."""
+
+    __slots__ = ("_lock", "value", "high_water")
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.value = 0
+        self.high_water = 0
+
+    def set(self, value) -> None:
+        with self._lock:
+            self.value = value
+            if value > self.high_water:
+                self.high_water = value
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self.value += amount
+            if self.value > self.high_water:
+                self.high_water = self.value
+
+    def dec(self, amount: int = 1) -> None:
+        with self._lock:
+            self.value -= amount
+
+
+class Histogram:
+    """Streaming count/sum plus a bounded reservoir for percentiles.
+
+    The reservoir keeps the most recent :data:`RESERVOIR_SIZE`
+    observations — percentiles reflect recent behaviour, which is what
+    a latency dashboard wants, and memory stays bounded on an always-on
+    service.
+    """
+
+    __slots__ = ("_lock", "count", "sum", "_recent")
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0
+        self.sum = 0.0
+        self._recent: deque = deque(maxlen=RESERVOIR_SIZE)
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self.count += 1
+            self.sum += value
+            self._recent.append(value)
+
+    def percentile(self, fraction: float) -> float:
+        """The ``fraction`` (0..1) percentile of recent observations
+        (nearest-rank; 0.0 when empty)."""
+        with self._lock:
+            if not self._recent:
+                return 0.0
+            ordered = sorted(self._recent)
+        rank = min(len(ordered) - 1,
+                   max(0, round(fraction * (len(ordered) - 1))))
+        return ordered[rank]
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return self.sum / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """(name, labels)-keyed instruments with uniform rendering."""
+
+    def __init__(self, prefix: str = "pact_serve"):
+        self.prefix = prefix
+        self._lock = threading.Lock()
+        self._counters: dict = {}
+        self._gauges: dict = {}
+        self._histograms: dict = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str, **labels) -> Counter:
+        return self._instrument(self._counters, Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._instrument(self._gauges, Gauge, name, labels)
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        return self._instrument(self._histograms, Histogram, name, labels)
+
+    def _instrument(self, table: dict, kind, name: str, labels: dict):
+        key = (name, _labels_key(labels))
+        with self._lock:
+            instrument = table.get(key)
+            if instrument is None:
+                instrument = table[key] = kind()
+            return instrument
+
+    # ------------------------------------------------------------------
+    def render_text(self) -> str:
+        """The ``GET /metrics`` exposition (one ``name{labels} value``
+        line per series; histograms expose count/sum/p50/p99)."""
+        lines = []
+        with self._lock:
+            counters = sorted(self._counters.items())
+            gauges = sorted(self._gauges.items())
+            histograms = sorted(self._histograms.items())
+        for (name, labels), counter in counters:
+            lines.append(f"{self.prefix}_{name}"
+                         f"{_labels_text(dict(labels))} {counter.value}")
+        for (name, labels), gauge in gauges:
+            tag = _labels_text(dict(labels))
+            lines.append(f"{self.prefix}_{name}{tag} {gauge.value}")
+            lines.append(f"{self.prefix}_{name}_high_water{tag} "
+                         f"{gauge.high_water}")
+        for (name, labels), histogram in histograms:
+            tag = _labels_text(dict(labels))
+            lines.append(f"{self.prefix}_{name}_count{tag} "
+                         f"{histogram.count}")
+            lines.append(f"{self.prefix}_{name}_sum{tag} "
+                         f"{histogram.sum:.6f}")
+            lines.append(f"{self.prefix}_{name}_p50{tag} "
+                         f"{histogram.percentile(0.50):.6f}")
+            lines.append(f"{self.prefix}_{name}_p99{tag} "
+                         f"{histogram.percentile(0.99):.6f}")
+        return "\n".join(lines) + "\n"
+
+    def to_dict(self) -> dict:
+        """The structured snapshot (shutdown summary, bench artifact)."""
+        def tag(name, labels):
+            text = _labels_text(dict(labels))
+            return f"{name}{text}" if text else name
+
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        snapshot: dict = {"counters": {}, "gauges": {}, "histograms": {}}
+        for (name, labels), counter in sorted(counters.items()):
+            snapshot["counters"][tag(name, labels)] = counter.value
+        for (name, labels), gauge in sorted(gauges.items()):
+            snapshot["gauges"][tag(name, labels)] = {
+                "value": gauge.value, "high_water": gauge.high_water}
+        for (name, labels), histogram in sorted(histograms.items()):
+            snapshot["histograms"][tag(name, labels)] = {
+                "count": histogram.count,
+                "sum": round(histogram.sum, 6),
+                "mean": round(histogram.mean, 6),
+                "p50": round(histogram.percentile(0.50), 6),
+                "p99": round(histogram.percentile(0.99), 6)}
+        return snapshot

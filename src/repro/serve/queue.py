@@ -1,0 +1,166 @@
+"""The bounded priority queue with admission control.
+
+Back-pressure lives here: a request that clears admission is *accepted*
+(it will get a real answer, eventually); one that does not is rejected
+instantly with 429 + ``Retry-After`` so the client sheds load instead
+of piling it onto the server.  Three admission rules, checked in order:
+
+* **draining** — a server that received SIGTERM accepts nothing new;
+* **queue watermark** — depth at/over ``high_watermark`` (default: the
+  hard ``capacity``) rejects with a ``Retry-After`` estimated from the
+  recent per-job service time and the worker count;
+* **per-tenant concurrency** — a tenant (the ``X-Tenant`` header or
+  body field, ``"default"`` otherwise) may hold at most
+  ``tenant_limit`` jobs in flight (queued + running), so one noisy
+  client cannot starve the rest.
+
+Ordering is (priority, arrival): lower ``priority`` dequeues first,
+FIFO within a class — an interactive front can jump a batch backfill
+without any risk of starving it (arrival order still drains).
+
+Every method runs on the event loop (handlers submit, worker
+coroutines ``get``, completions ``release``), so the state needs no
+locks; the heavy lifting happens off-loop in worker threads.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["AdmissionReject", "AdmissionQueue", "Job"]
+
+DEFAULT_PRIORITY = 10
+
+
+class AdmissionReject(Exception):
+    """The request was not admitted; ``retry_after`` is the hint in
+    seconds, ``reason`` is ``"queue_full"``, ``"tenant_limit"`` or
+    ``"draining"``."""
+
+    def __init__(self, reason: str, retry_after: int):
+        super().__init__(f"not admitted: {reason}")
+        self.reason = reason
+        self.retry_after = retry_after
+
+
+@dataclass
+class Job:
+    """One admitted unit of work travelling queue -> worker -> client.
+
+    ``deadline_at`` is absolute ``time.monotonic()`` — queue wait spends
+    the same budget the count does, exactly like the pool's batch
+    deadlines.  ``future`` resolves to the response payload; sync
+    requests await it, async requests poll ``GET /jobs/<id>``.
+    """
+
+    id: str
+    kind: str                      # "count" | "batch" | "portfolio"
+    payload: dict
+    tenant: str = "default"
+    priority: int = DEFAULT_PRIORITY
+    deadline_at: float | None = None
+    status: str = "queued"         # queued | running | done | failed
+    future: asyncio.Future = field(default_factory=asyncio.Future)
+    result: Any = None
+
+
+class AdmissionQueue:
+    """Bounded priority queue; admission checks at submit time."""
+
+    def __init__(self, capacity: int = 256,
+                 high_watermark: int | None = None,
+                 tenant_limit: int | None = None,
+                 workers: int = 1):
+        if capacity < 1:
+            raise ValueError("queue capacity must be >= 1")
+        self.capacity = capacity
+        self.high_watermark = (capacity if high_watermark is None
+                               else min(high_watermark, capacity))
+        self.tenant_limit = tenant_limit
+        self.workers = max(1, workers)
+        self.draining = False
+        self.service_ema = 0.05    # seconds/job, seeds the retry hint
+        self._heap: list = []
+        self._seq = itertools.count()
+        self._inflight: dict[str, int] = {}   # tenant -> queued+running
+        self._available = asyncio.Event()
+        self.depth_high_water = 0
+        self.rejects: dict[str, int] = {"queue_full": 0,
+                                        "tenant_limit": 0, "draining": 0}
+
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        """Jobs queued (not yet picked up by a worker)."""
+        return len(self._heap)
+
+    def inflight(self, tenant: str) -> int:
+        return self._inflight.get(tenant, 0)
+
+    def retry_after(self) -> int:
+        """Seconds until the backlog plausibly drains one slot: the
+        queue depth worked off at the recent per-worker service rate,
+        clamped to [1, 60]."""
+        estimate = (self.depth * self.service_ema) / self.workers
+        return max(1, min(60, round(estimate)))
+
+    def note_service_time(self, seconds: float) -> None:
+        """Fold one completed job's service time into the EMA feeding
+        the ``Retry-After`` estimate."""
+        self.service_ema = 0.8 * self.service_ema + 0.2 * max(
+            1e-4, seconds)
+
+    # ------------------------------------------------------------------
+    def submit(self, job: Job) -> None:
+        """Admit ``job`` or raise :class:`AdmissionReject`."""
+        if self.draining:
+            self._reject("draining", retry_after=30)
+        if self.depth >= self.high_watermark:
+            self._reject("queue_full", retry_after=self.retry_after())
+        if (self.tenant_limit is not None
+                and self.inflight(job.tenant) >= self.tenant_limit):
+            self._reject("tenant_limit", retry_after=self.retry_after())
+        self._inflight[job.tenant] = self.inflight(job.tenant) + 1
+        heapq.heappush(self._heap, (job.priority, next(self._seq), job))
+        if self.depth > self.depth_high_water:
+            self.depth_high_water = self.depth
+        self._available.set()
+
+    def _reject(self, reason: str, retry_after: int) -> None:
+        self.rejects[reason] += 1
+        raise AdmissionReject(reason, retry_after)
+
+    async def get(self) -> Job:
+        """Dequeue the next job (lowest priority class first, FIFO
+        within a class), waiting until one arrives."""
+        while True:
+            if self._heap:
+                _, _, job = heapq.heappop(self._heap)
+                if not self._heap:
+                    self._available.clear()
+                return job
+            self._available.clear()
+            await self._available.wait()
+
+    def release(self, job: Job) -> None:
+        """A job left the system (answered, failed, or expired):
+        return its tenant slot."""
+        count = self.inflight(job.tenant) - 1
+        if count > 0:
+            self._inflight[job.tenant] = count
+        else:
+            self._inflight.pop(job.tenant, None)
+
+    # ------------------------------------------------------------------
+    def start_drain(self) -> None:
+        """Stop admitting; queued jobs still drain."""
+        self.draining = True
+        # Wake any idle worker so it can observe the drain.
+        self._available.set()
+
+    def __len__(self) -> int:
+        return self.depth

@@ -283,3 +283,43 @@ class TestArtifactStore:
             assert response.solved
         finally:
             reset_compile_memo()
+
+    def test_concurrent_thread_writers_share_the_artifact_store(
+            self, tmp_path):
+        """The serving layer's worker threads call ``count`` on one
+        shared session concurrently: ``_preload_artifact`` /
+        ``_persist_artifact`` must stay race-free (atomic artifact
+        writes, locked store) and every response must be correct."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        from repro.compile import reset_compile_memo
+
+        problems = [_problem(f"ss_thread_{n}", bound=50 + n)
+                    for n in range(6)]
+        baseline = {problem.name:
+                    Session().count(problem, _request()).estimate
+                    for problem in problems}
+        reset_compile_memo()
+        try:
+            session = Session(cache_dir=tmp_path)
+            with ThreadPoolExecutor(max_workers=8) as executor:
+                # Each problem counted twice, interleaved across
+                # threads — both compile-then-persist and preload paths
+                # race on the same digests.
+                responses = list(executor.map(
+                    lambda problem: session.count(problem, _request()),
+                    problems * 2))
+            session.close()
+        finally:
+            reset_compile_memo()
+        assert all(response.solved for response in responses)
+        for response in responses:
+            assert response.estimate == baseline[response.problem]
+        # Every artifact on disk round-trips as valid JSON (no torn
+        # concurrent writes) under its problem's digest.
+        artifacts = list((tmp_path / "artifacts").glob("*.json"))
+        assert artifacts
+        digests = {path.name.split("-")[0] for path in artifacts}
+        assert digests <= {problem.compile_key for problem in problems}
+        for path in artifacts:
+            assert isinstance(json.loads(path.read_text()), dict)

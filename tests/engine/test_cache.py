@@ -185,3 +185,127 @@ class TestArtifactStore:
         assert len(names) == 2
         assert cache.artifact_evictions >= 2
         assert cache.evictions == 0  # result-row evictions stay separate
+
+
+class TestAtomicWrites:
+    """Satellite hardening: temp + fsync + os.replace means a crash (or
+    a concurrent reader) can never observe a torn document."""
+
+    def test_crashed_flush_leaves_previous_document_intact(
+            self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path)
+        cache.put("fp-first", {"estimate": 1, "status": "ok"})
+        cache.flush()
+        before = (tmp_path / "pact-cache.json").read_text()
+
+        import os as os_module
+        def crash(src, dst):
+            raise OSError("simulated crash mid-rename")
+        monkeypatch.setattr(os_module, "replace", crash)
+        cache.put("fp-second", {"estimate": 2, "status": "ok"})
+        try:
+            cache.flush()
+        except OSError:
+            pass
+        monkeypatch.undo()
+
+        # The on-disk document is byte-identical to the last good flush
+        # and still parses; no temp litter with the target's name.
+        assert (tmp_path / "pact-cache.json").read_text() == before
+        survivor = ResultCache(tmp_path)
+        assert survivor.get("fp-first") is not None
+        assert survivor.get("fp-second") is None
+        # A later flush (the "process restarted" path) persists it all.
+        cache.flush()
+        recovered = ResultCache(tmp_path)
+        assert recovered.get("fp-second") is not None
+
+    def test_crashed_artifact_write_leaves_no_torn_file(
+            self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path)
+        cache.put_artifact("d1", {"cnf": [1]})
+        good = cache._artifact_path("d1", True).read_text()
+
+        import os as os_module
+        def crash(src, dst):
+            raise OSError("simulated crash mid-rename")
+        monkeypatch.setattr(os_module, "replace", crash)
+        try:
+            cache.put_artifact("d1", {"cnf": [1, 2, 3]})
+        except OSError:
+            pass
+        monkeypatch.undo()
+        assert cache._artifact_path("d1", True).read_text() == good
+        assert cache.get_artifact("d1") == {"cnf": [1]}
+
+    def test_no_temp_files_survive_a_clean_flush(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for n in range(5):
+            cache.put(f"fp{n}", {"estimate": n, "status": "ok"})
+            cache.flush()
+        assert list(tmp_path.glob(".*.tmp")) == []
+
+    def test_stale_temp_from_a_dead_writer_is_swept(self, tmp_path):
+        import os as os_module
+        stale = tmp_path / ".cache-dead123.tmp"
+        fresh = tmp_path / ".cache-live456.tmp"
+        stale.write_text("{")
+        fresh.write_text("{")
+        old = 1_000_000.0  # well past STALE_TEMP_SECONDS
+        os_module.utime(stale, (old, old))
+        cache = ResultCache(tmp_path)
+        cache.put("fp", {"estimate": 1, "status": "ok"})
+        cache.flush()
+        assert not stale.exists()      # dead writer's litter removed
+        assert fresh.exists()          # a live writer may still own it
+
+
+class TestMergeOnWrite:
+    def test_two_caches_flushing_one_directory_lose_nothing(
+            self, tmp_path):
+        first = ResultCache(tmp_path)
+        second = ResultCache(tmp_path)
+        first.put("fp-a", {"estimate": 1, "status": "ok"})
+        second.put("fp-b", {"estimate": 2, "status": "ok"})
+        first.flush()
+        second.flush()   # must fold in fp-a, not clobber it
+        merged = ResultCache(tmp_path)
+        assert merged.get("fp-a")["estimate"] == 1
+        assert merged.get("fp-b")["estimate"] == 2
+
+    def test_conflicting_fingerprint_local_row_wins(self, tmp_path):
+        first = ResultCache(tmp_path)
+        second = ResultCache(tmp_path)
+        first.put("fp", {"estimate": 1, "status": "ok"})
+        second.put("fp", {"estimate": 2, "status": "ok"})
+        first.flush()
+        second.flush()
+        assert ResultCache(tmp_path).get("fp")["estimate"] == 2
+
+    def test_threaded_put_flush_on_one_instance(self, tmp_path):
+        """The serving layer's workers share one store instance; puts
+        and flushes from many threads must not lose rows or crash."""
+        import threading
+        cache = ResultCache(tmp_path)
+        errors = []
+
+        def hammer(base):
+            try:
+                for n in range(20):
+                    cache.put(f"fp-{base}-{n}",
+                              {"estimate": n, "status": "ok"})
+                    if n % 5 == 0:
+                        cache.flush()
+            except Exception as error:  # noqa: BLE001
+                errors.append(error)
+
+        threads = [threading.Thread(target=hammer, args=(t,))
+                   for t in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        cache.flush()
+        assert not errors
+        reread = ResultCache(tmp_path)
+        assert len(reread) == 160

@@ -1,0 +1,187 @@
+"""The minimal HTTP layer: parsing, framing, limits, the tiny client."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve.http import (
+    MAX_BODY_BYTES, HttpError, HttpRequest, http_request, read_request,
+    response_bytes,
+)
+
+
+def _parse(raw: bytes) -> HttpRequest | None:
+    async def scenario():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader)
+    return asyncio.run(scenario())
+
+
+class TestReadRequest:
+    def test_get_with_query(self):
+        request = _parse(b"GET /jobs/j1?full=1&x=y HTTP/1.1\r\n"
+                         b"Host: localhost\r\n\r\n")
+        assert request.method == "GET"
+        assert request.path == "/jobs/j1"
+        assert request.query == {"full": "1", "x": "y"}
+        assert request.headers["host"] == "localhost"
+        assert request.body == b""
+
+    def test_post_with_body(self):
+        body = json.dumps({"script": "(assert true)"}).encode()
+        request = _parse(b"POST /count HTTP/1.1\r\n"
+                         b"Content-Type: application/json\r\n"
+                         + f"Content-Length: {len(body)}\r\n\r\n".encode()
+                         + body)
+        assert request.method == "POST"
+        assert request.json() == {"script": "(assert true)"}
+
+    def test_header_names_lowercased(self):
+        request = _parse(b"GET / HTTP/1.1\r\nX-Tenant: acme\r\n\r\n")
+        assert request.headers["x-tenant"] == "acme"
+
+    def test_clean_eof_returns_none(self):
+        assert _parse(b"") is None
+
+    def test_bare_lf_lines_accepted(self):
+        request = _parse(b"GET / HTTP/1.1\nHost: x\n\n")
+        assert request.method == "GET"
+
+    @pytest.mark.parametrize("raw,status", [
+        (b"GARBAGE\r\n\r\n", 400),                      # request line
+        (b"GET /\r\n\r\n", 400),                        # missing version
+        (b"GET / FTP/1.1\r\n\r\n", 400),                # not HTTP
+        (b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n", 400),
+        (b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n", 400),
+        (b"POST / HTTP/1.1\r\nContent-Length: -5\r\n\r\n", 400),
+        (b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort", 400),
+        (b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n", 400),
+        (b"GET / HTTP/1.1\r\nHost", 400),               # truncated header
+    ])
+    def test_malformed_raises_with_status(self, raw, status):
+        with pytest.raises(HttpError) as excinfo:
+            _parse(raw)
+        assert excinfo.value.status == status
+
+    def test_oversized_body_is_413(self):
+        raw = (f"POST / HTTP/1.1\r\nContent-Length: "
+               f"{MAX_BODY_BYTES + 1}\r\n\r\n").encode()
+        with pytest.raises(HttpError) as excinfo:
+            _parse(raw)
+        assert excinfo.value.status == 413
+
+    def test_oversized_header_line_is_431(self):
+        raw = b"GET / HTTP/1.1\r\nX-Big: " + b"a" * (17 * 1024) + b"\r\n\r\n"
+        with pytest.raises(HttpError) as excinfo:
+            _parse(raw)
+        assert excinfo.value.status == 431
+
+    def test_too_many_headers_is_431(self):
+        lines = b"".join(f"X-H{n}: v\r\n".encode() for n in range(101))
+        with pytest.raises(HttpError) as excinfo:
+            _parse(b"GET / HTTP/1.1\r\n" + lines + b"\r\n")
+        assert excinfo.value.status == 431
+
+
+class TestKeepAlive:
+    def test_http11_defaults_to_keep_alive(self):
+        assert HttpRequest("GET", "/").keep_alive
+
+    def test_http11_close_header(self):
+        request = HttpRequest("GET", "/", headers={"connection": "close"})
+        assert not request.keep_alive
+
+    def test_http10_defaults_to_close(self):
+        request = HttpRequest("GET", "/", version="HTTP/1.0")
+        assert not request.keep_alive
+
+    def test_http10_explicit_keep_alive(self):
+        request = HttpRequest("GET", "/", version="HTTP/1.0",
+                              headers={"connection": "Keep-Alive"})
+        assert request.keep_alive
+
+
+class TestJsonBody:
+    def test_empty_body_is_empty_object(self):
+        assert HttpRequest("POST", "/").json() == {}
+
+    def test_invalid_json_is_400(self):
+        request = HttpRequest("POST", "/", body=b"{nope")
+        with pytest.raises(HttpError) as excinfo:
+            request.json()
+        assert excinfo.value.status == 400
+
+    def test_non_object_is_400(self):
+        request = HttpRequest("POST", "/", body=b"[1, 2]")
+        with pytest.raises(HttpError) as excinfo:
+            request.json()
+        assert excinfo.value.status == 400
+
+
+class TestResponseBytes:
+    def test_json_body_framed_with_length(self):
+        raw = response_bytes(200, {"ok": True})
+        head, _, payload = raw.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 200 OK")
+        assert f"Content-Length: {len(payload)}".encode() in head
+        assert b"Content-Type: application/json" in head
+        assert json.loads(payload) == {"ok": True}
+
+    def test_text_body(self):
+        raw = response_bytes(200, "metrics 1\n")
+        assert b"Content-Type: text/plain" in raw
+        assert raw.endswith(b"metrics 1\n")
+
+    def test_empty_body_still_has_length(self):
+        raw = response_bytes(204)
+        assert b"Content-Length: 0" in raw
+        assert b"Content-Type" not in raw
+
+    def test_connection_header_tracks_keep_alive(self):
+        assert b"Connection: keep-alive" in response_bytes(200, {})
+        assert b"Connection: close" in response_bytes(
+            200, {}, keep_alive=False)
+
+    def test_extra_headers_emitted(self):
+        raw = response_bytes(429, {"error": "busy"},
+                             headers={"Retry-After": "7"})
+        assert b"Retry-After: 7" in raw
+
+    def test_unknown_status_gets_placeholder_reason(self):
+        assert response_bytes(599).startswith(b"HTTP/1.1 599 Unknown")
+
+
+class TestClientRoundTrip:
+    def test_client_speaks_to_asyncio_server(self):
+        async def scenario():
+            seen = {}
+
+            async def handler(reader, writer):
+                request = await read_request(reader)
+                seen["request"] = request
+                writer.write(response_bytes(
+                    200, {"echo": request.json()}, keep_alive=False))
+                await writer.drain()
+                writer.close()
+
+            server = await asyncio.start_server(handler, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            try:
+                status, headers, body = await http_request(
+                    "127.0.0.1", port, "POST", "/count",
+                    body={"script": "(assert true)"},
+                    headers={"X-Tenant": "acme"})
+            finally:
+                server.close()
+                await server.wait_closed()
+            return status, headers, body, seen["request"]
+
+        status, headers, body, request = asyncio.run(scenario())
+        assert status == 200
+        assert json.loads(body) == {"echo": {"script": "(assert true)"}}
+        assert headers["content-length"] == str(len(body))
+        assert request.headers["x-tenant"] == "acme"
+        assert request.path == "/count"

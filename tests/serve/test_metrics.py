@@ -1,0 +1,121 @@
+"""The metrics registry: instruments, labels, exposition, snapshot."""
+
+import threading
+
+from repro.serve.metrics import (
+    RESERVOIR_SIZE, Counter, Gauge, Histogram, MetricsRegistry,
+)
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_gauge_tracks_high_water(self):
+        gauge = Gauge()
+        gauge.set(3)
+        gauge.set(9)
+        gauge.set(2)
+        assert gauge.value == 2
+        assert gauge.high_water == 9
+        gauge.inc(10)
+        assert gauge.high_water == 12
+        gauge.dec(5)
+        assert gauge.value == 7
+        assert gauge.high_water == 12
+
+    def test_histogram_count_sum_mean(self):
+        histogram = Histogram()
+        for value in (1.0, 2.0, 3.0):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.sum == 6.0
+        assert histogram.mean == 2.0
+
+    def test_histogram_percentiles_nearest_rank(self):
+        histogram = Histogram()
+        for value in range(1, 101):
+            histogram.observe(float(value))
+        assert histogram.percentile(0.50) == 51.0
+        assert histogram.percentile(0.99) == 99.0
+        assert histogram.percentile(0.0) == 1.0
+        assert histogram.percentile(1.0) == 100.0
+
+    def test_histogram_empty_percentile_is_zero(self):
+        assert Histogram().percentile(0.99) == 0.0
+        assert Histogram().mean == 0.0
+
+    def test_histogram_reservoir_is_bounded(self):
+        histogram = Histogram()
+        for value in range(RESERVOIR_SIZE + 500):
+            histogram.observe(float(value))
+        # Streaming count keeps everything; the reservoir only recent.
+        assert histogram.count == RESERVOIR_SIZE + 500
+        assert histogram.percentile(0.0) == 500.0   # oldest 500 aged out
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        metrics = MetricsRegistry()
+        first = metrics.counter("requests_total", route="/count")
+        second = metrics.counter("requests_total", route="/count")
+        assert first is second
+
+    def test_labels_distinguish_series(self):
+        metrics = MetricsRegistry()
+        metrics.counter("requests_total", route="/count").inc()
+        metrics.counter("requests_total", route="/batch").inc(2)
+        assert metrics.counter("requests_total", route="/count").value == 1
+        assert metrics.counter("requests_total", route="/batch").value == 2
+
+    def test_label_order_does_not_matter(self):
+        metrics = MetricsRegistry()
+        first = metrics.counter("jobs_total", kind="count", status="ok")
+        second = metrics.counter("jobs_total", status="ok", kind="count")
+        assert first is second
+
+    def test_render_text_exposition(self):
+        metrics = MetricsRegistry(prefix="pact_serve")
+        metrics.counter("requests_total", route="/count").inc(3)
+        metrics.gauge("queue_depth").set(5)
+        metrics.histogram("latency_seconds").observe(0.25)
+        text = metrics.render_text()
+        assert 'pact_serve_requests_total{route="/count"} 3' in text
+        assert "pact_serve_queue_depth 5" in text
+        assert "pact_serve_queue_depth_high_water 5" in text
+        assert "pact_serve_latency_seconds_count 1" in text
+        assert "pact_serve_latency_seconds_p50 0.250000" in text
+        assert "pact_serve_latency_seconds_p99 0.250000" in text
+        assert text.endswith("\n")
+
+    def test_to_dict_snapshot(self):
+        metrics = MetricsRegistry()
+        metrics.counter("requests_total", route="/count").inc()
+        metrics.gauge("inflight").set(4)
+        metrics.histogram("latency_seconds").observe(1.0)
+        snapshot = metrics.to_dict()
+        assert snapshot["counters"]['requests_total{route="/count"}'] == 1
+        assert snapshot["gauges"]["inflight"] == {"value": 4,
+                                                  "high_water": 4}
+        histogram = snapshot["histograms"]["latency_seconds"]
+        assert histogram["count"] == 1
+        assert histogram["p50"] == 1.0
+
+    def test_concurrent_increments_do_not_lose_counts(self):
+        metrics = MetricsRegistry()
+
+        def hammer():
+            for _ in range(1000):
+                metrics.counter("requests_total").inc()
+                metrics.histogram("latency_seconds").observe(0.01)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert metrics.counter("requests_total").value == 8000
+        assert metrics.histogram("latency_seconds").count == 8000

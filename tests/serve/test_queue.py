@@ -1,0 +1,155 @@
+"""Admission control: ordering, watermark, tenant caps, drain."""
+
+import asyncio
+
+import pytest
+
+from repro.serve.queue import AdmissionQueue, AdmissionReject, Job
+
+
+def _job(job_id: str, **kwargs) -> Job:
+    return Job(id=job_id, kind="count", payload={}, **kwargs)
+
+
+def _run(coroutine):
+    return asyncio.run(coroutine)
+
+
+class TestOrdering:
+    def test_priority_classes_dequeue_low_first(self):
+        async def scenario():
+            queue = AdmissionQueue(capacity=16)
+            queue.submit(_job("batch", priority=20))
+            queue.submit(_job("interactive", priority=1))
+            queue.submit(_job("normal", priority=10))
+            return [(await queue.get()).id for _ in range(3)]
+        assert _run(scenario()) == ["interactive", "normal", "batch"]
+
+    def test_fifo_within_a_priority_class(self):
+        async def scenario():
+            queue = AdmissionQueue(capacity=16)
+            for n in range(5):
+                queue.submit(_job(f"j{n}"))
+            return [(await queue.get()).id for _ in range(5)]
+        assert _run(scenario()) == [f"j{n}" for n in range(5)]
+
+    def test_get_waits_for_a_submission(self):
+        async def scenario():
+            queue = AdmissionQueue(capacity=4)
+            waiter = asyncio.create_task(queue.get())
+            await asyncio.sleep(0.01)
+            assert not waiter.done()
+            queue.submit(_job("late"))
+            return (await asyncio.wait_for(waiter, timeout=1)).id
+        assert _run(scenario()) == "late"
+
+
+class TestAdmission:
+    def test_watermark_rejects_with_retry_after(self):
+        async def scenario():
+            queue = AdmissionQueue(capacity=8, high_watermark=2)
+            queue.submit(_job("a"))
+            queue.submit(_job("b"))
+            with pytest.raises(AdmissionReject) as excinfo:
+                queue.submit(_job("c"))
+            return excinfo.value, queue
+        reject, queue = _run(scenario())
+        assert reject.reason == "queue_full"
+        assert 1 <= reject.retry_after <= 60
+        assert queue.rejects["queue_full"] == 1
+        assert queue.depth == 2          # the reject never queued
+
+    def test_watermark_clamped_to_capacity(self):
+        queue = AdmissionQueue(capacity=4, high_watermark=100)
+        assert queue.high_watermark == 4
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(capacity=0)
+
+    def test_tenant_limit_rejects_only_the_noisy_tenant(self):
+        async def scenario():
+            queue = AdmissionQueue(capacity=16, tenant_limit=2)
+            queue.submit(_job("a1", tenant="acme"))
+            queue.submit(_job("a2", tenant="acme"))
+            with pytest.raises(AdmissionReject) as excinfo:
+                queue.submit(_job("a3", tenant="acme"))
+            queue.submit(_job("b1", tenant="beta"))   # other tenant fine
+            return excinfo.value, queue
+        reject, queue = _run(scenario())
+        assert reject.reason == "tenant_limit"
+        assert queue.rejects["tenant_limit"] == 1
+        assert queue.inflight("acme") == 2
+        assert queue.inflight("beta") == 1
+
+    def test_release_frees_the_tenant_slot(self):
+        async def scenario():
+            queue = AdmissionQueue(capacity=16, tenant_limit=1)
+            job = _job("a1", tenant="acme")
+            queue.submit(job)
+            dequeued = await queue.get()
+            queue.release(dequeued)
+            queue.submit(_job("a2", tenant="acme"))   # no reject now
+            return queue
+        queue = _run(scenario())
+        assert queue.inflight("acme") == 1
+
+    def test_tenant_slot_held_while_running(self):
+        """Dequeueing does not release the slot — the cap is on jobs in
+        flight (queued + running), not jobs queued."""
+        async def scenario():
+            queue = AdmissionQueue(capacity=16, tenant_limit=1)
+            queue.submit(_job("a1", tenant="acme"))
+            await queue.get()                          # now running
+            with pytest.raises(AdmissionReject):
+                queue.submit(_job("a2", tenant="acme"))
+        _run(scenario())
+
+    def test_drain_rejects_everything_new(self):
+        async def scenario():
+            queue = AdmissionQueue(capacity=16)
+            queue.submit(_job("before"))
+            queue.start_drain()
+            with pytest.raises(AdmissionReject) as excinfo:
+                queue.submit(_job("after"))
+            # Already-queued work still drains.
+            return excinfo.value, (await queue.get()).id
+        reject, drained = _run(scenario())
+        assert reject.reason == "draining"
+        assert drained == "before"
+
+
+class TestAccounting:
+    def test_depth_high_water(self):
+        async def scenario():
+            queue = AdmissionQueue(capacity=16)
+            for n in range(7):
+                queue.submit(_job(f"j{n}"))
+            for _ in range(7):
+                await queue.get()
+            queue.submit(_job("one-more"))
+            return queue
+        queue = _run(scenario())
+        assert queue.depth_high_water == 7
+        assert queue.depth == 1
+
+    def test_retry_after_tracks_service_time(self):
+        async def scenario():
+            queue = AdmissionQueue(capacity=600, workers=1)
+            for n in range(500):
+                queue.submit(_job(f"j{n}"))
+            return queue
+        queue = _run(scenario())
+        fast = queue.retry_after()
+        for _ in range(20):
+            queue.note_service_time(2.0)     # slow service -> longer hint
+        slow = queue.retry_after()
+        assert slow > fast
+        assert 1 <= fast <= 60 and 1 <= slow <= 60
+
+    def test_len_is_depth(self):
+        async def scenario():
+            queue = AdmissionQueue(capacity=4)
+            queue.submit(_job("a"))
+            return len(queue)
+        assert _run(scenario()) == 1
