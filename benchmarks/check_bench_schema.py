@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""Validate every ``bench_results/BENCH_*.json`` against the emission
+schema (``benchmarks/conftest.py:emit_json``)::
+
+    {
+      "bench": "<name>",          # matches the BENCH_<name>.json stem
+      "metrics": {...},           # non-empty; scalar values, or one
+                                  # level of dicts of scalars
+      "timestamp_env": {"timestamp": ..., "python": ...,
+                        "platform": ..., "cpus": ...}
+    }
+
+Trajectory tracking diffs these files across commits; a malformed
+emission (renamed key, nested blob, missing env) must fail the lint CI
+job immediately instead of silently dropping out of the comparison.
+
+Usage: ``python benchmarks/check_bench_schema.py [RESULTS_DIR]``
+(default ``bench_results/`` next to the repo root).  Exit 0 when every
+file conforms, 1 otherwise, listing each problem.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+_ENV_KEYS = frozenset({"timestamp", "python", "platform", "cpus"})
+_SCALARS = (str, int, float, bool, type(None))
+
+
+def _is_scalar(value) -> bool:
+    return isinstance(value, _SCALARS)
+
+
+def validate_document(name: str, document) -> list[str]:
+    """Problems with one ``BENCH_<name>.json`` document ([] = valid)."""
+    problems: list[str] = []
+    if not isinstance(document, dict):
+        return [f"top level must be an object, got "
+                f"{type(document).__name__}"]
+    extra = set(document) - {"bench", "metrics", "timestamp_env"}
+    missing = {"bench", "metrics", "timestamp_env"} - set(document)
+    if missing:
+        problems.append(f"missing key(s): {sorted(missing)}")
+    if extra:
+        problems.append(f"unexpected key(s): {sorted(extra)}")
+    if "bench" in document and document["bench"] != name:
+        problems.append(
+            f'"bench" is {document["bench"]!r} but the filename says '
+            f"{name!r}")
+    metrics = document.get("metrics")
+    if metrics is not None:
+        if not isinstance(metrics, dict) or not metrics:
+            problems.append('"metrics" must be a non-empty object')
+        else:
+            for key, value in metrics.items():
+                if _is_scalar(value):
+                    continue
+                if isinstance(value, dict) and value and all(
+                        _is_scalar(inner)
+                        for inner in value.values()):
+                    continue
+                problems.append(
+                    f'metric "{key}" must be a scalar or a flat '
+                    "object of scalars, got "
+                    f"{type(value).__name__}")
+    env = document.get("timestamp_env")
+    if env is not None:
+        if not isinstance(env, dict):
+            problems.append('"timestamp_env" must be an object')
+        else:
+            lost = _ENV_KEYS - set(env)
+            if lost:
+                problems.append(
+                    f"timestamp_env missing {sorted(lost)}")
+    return problems
+
+
+def check_directory(results_dir: pathlib.Path) -> list[str]:
+    """One ``path: problem`` line per schema violation ([] = clean)."""
+    problems: list[str] = []
+    files = sorted(results_dir.glob("BENCH_*.json"))
+    if not files:
+        # Nothing emitted yet is fine (fresh clone); a missing
+        # directory when artifacts are expected shows up in review.
+        return problems
+    for path in files:
+        name = path.stem[len("BENCH_"):]
+        try:
+            document = json.loads(path.read_text())
+        except ValueError as error:
+            problems.append(f"{path}: not valid JSON ({error})")
+            continue
+        problems.extend(f"{path}: {problem}"
+                        for problem in validate_document(name, document))
+    return problems
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv:
+        results_dir = pathlib.Path(argv[0])
+    else:
+        results_dir = (pathlib.Path(__file__).resolve().parent.parent
+                       / "bench_results")
+    problems = check_directory(results_dir)
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(f"{len(problems)} schema problem(s)", file=sys.stderr)
+        return 1
+    count = len(list(results_dir.glob("BENCH_*.json")))
+    print(f"bench schema: {count} file(s) conform")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

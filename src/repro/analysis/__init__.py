@@ -1,0 +1,17 @@
+"""repro.analysis — invariant-aware static analysis (``pact lint``).
+
+An AST rule engine plus a catalogue of repo-specific rules encoding
+the invariants the stack depends on (DESIGN.md §9): determinism of
+fingerprint/signature modules, pickle-safety of fan-out payloads,
+lock discipline of thread-shared classes, event-loop hygiene under
+``serve/``, and status/registry discipline.
+"""
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.engine import (
+    Analyzer, FileContext, Finding, Rule, Severity,
+)
+from repro.analysis.rules import default_rules, rules_by_id
+
+__all__ = ["Analyzer", "Baseline", "FileContext", "Finding", "Rule",
+           "Severity", "default_rules", "rules_by_id"]

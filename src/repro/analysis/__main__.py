@@ -1,0 +1,5 @@
+"""``python -m repro.analysis`` — alias for ``pact lint``."""
+
+from repro.analysis.cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,107 @@
+"""Checked-in baselines for grandfathered findings.
+
+A baseline entry matches on ``(rule, module, code)`` — the stripped
+source line, not the line *number* — so unrelated edits that shift a
+file do not resurrect suppressed findings, while any edit to the
+offending line itself (including fixing it) drops the match and makes
+the stale entry visible via :func:`unused_entries`.
+
+Entries carry a mandatory ``justification``; the CI gate treats a
+baseline as a debt register, not a mute button.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.engine import Finding
+
+__all__ = ["Baseline"]
+
+_VERSION = 1
+
+
+class Baseline:
+    """A multiset of grandfathered findings keyed on (rule, module,
+    code)."""
+
+    def __init__(self, entries=()):
+        self.entries = [dict(entry) for entry in entries]
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _key(entry) -> tuple[str, str, str]:
+        return (entry["rule"], entry["module"],
+                entry["code"].strip())
+
+    @classmethod
+    def load(cls, path) -> "Baseline":
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        document = json.loads(path.read_text())
+        if document.get("version") != _VERSION:
+            raise ValueError(
+                f"unsupported baseline version in {path}: "
+                f"{document.get('version')!r}")
+        entries = document.get("findings", [])
+        for entry in entries:
+            missing = {"rule", "module", "code",
+                       "justification"} - entry.keys()
+            if missing:
+                raise ValueError(
+                    f"baseline entry {entry!r} in {path} is missing "
+                    f"{sorted(missing)} — every grandfathered finding "
+                    "must carry a justification")
+        return cls(entries)
+
+    def dump(self, path) -> None:
+        document = {"version": _VERSION,
+                    "findings": sorted(self.entries, key=self._key)}
+        Path(path).write_text(json.dumps(document, indent=2,
+                                         sort_keys=True) + "\n")
+
+    @classmethod
+    def from_findings(cls, findings,
+                      justification: str = "TODO: justify") -> "Baseline":
+        return cls({"rule": finding.rule, "module": finding.module,
+                    "code": finding.code,
+                    "justification": justification}
+                   for finding in findings)
+
+    # ------------------------------------------------------------------
+    def filter(self, findings) -> list[Finding]:
+        """Findings not covered by the baseline.  Each entry absorbs at
+        most one finding (multiset semantics): two copies of the same
+        offending line need two entries."""
+        budget: dict[tuple, int] = {}
+        for entry in self.entries:
+            key = self._key(entry)
+            budget[key] = budget.get(key, 0) + 1
+        surviving = []
+        for finding in findings:
+            key = (finding.rule, finding.module, finding.code.strip())
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+            else:
+                surviving.append(finding)
+        return surviving
+
+    def unused_entries(self, findings) -> list[dict]:
+        """Entries that matched nothing — fixed-but-not-removed debt."""
+        seen: dict[tuple, int] = {}
+        for finding in findings:
+            key = (finding.rule, finding.module, finding.code.strip())
+            seen[key] = seen.get(key, 0) + 1
+        unused = []
+        for entry in self.entries:
+            key = self._key(entry)
+            if seen.get(key, 0) > 0:
+                seen[key] -= 1
+            else:
+                unused.append(entry)
+        return unused
+
+    def __len__(self) -> int:
+        return len(self.entries)

@@ -1,0 +1,116 @@
+"""``pact lint`` / ``python -m repro.analysis`` — the invariant gate.
+
+Exit codes: 0 clean (baselined findings and justified suppressions do
+not count), 1 findings or unused baseline entries, 2 usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.engine import Analyzer
+from repro.analysis.reporters import render_json, render_text
+from repro.analysis.rules import default_rules
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pact lint",
+        description="Check repo invariants (determinism, pickle "
+                    "safety, lock discipline, event-loop hygiene, "
+                    "status/registry discipline) by static analysis.")
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to analyze (default: src/ when it "
+             "holds the repro package, else the current directory)")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)")
+    parser.add_argument(
+        "--baseline", metavar="PATH",
+        help="JSON baseline of grandfathered findings; matched "
+             "entries are suppressed, unmatched ones reported as "
+             "stale")
+    parser.add_argument(
+        "--rules", metavar="ID[,ID...]",
+        help="comma-separated rule ids to run (default: all)")
+    parser.add_argument(
+        "--write-baseline", metavar="PATH",
+        help="write the current findings as a baseline to PATH and "
+             "exit 0 (each entry then needs a real justification)")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list the rule catalogue and exit")
+    return parser
+
+
+def _default_paths() -> list[str]:
+    if Path("src/repro").is_dir():
+        return ["src"]
+    return ["."]
+
+
+def _select_rules(spec: str | None):
+    rules = default_rules()
+    if spec is None:
+        return rules
+    wanted = [rule_id.strip() for rule_id in spec.split(",")
+              if rule_id.strip()]
+    known = {rule.id for rule in rules}
+    unknown = [rule_id for rule_id in wanted if rule_id not in known]
+    if unknown:
+        raise SystemExit(
+            f"pact lint: unknown rule id(s): {', '.join(unknown)} "
+            f"(known: {', '.join(sorted(known))})")
+    return [rule for rule in rules if rule.id in wanted]
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    options = parser.parse_args(argv)
+
+    if options.list_rules:
+        for rule in default_rules():
+            scope = ", ".join(rule.scope) if rule.scope else "all repro"
+            print(f"{rule.id:22s} {rule.severity:8s} [{scope}]")
+            print(f"{'':22s} {rule.description}")
+        return 0
+
+    try:
+        rules = _select_rules(options.rules)
+    except SystemExit as error:
+        print(error, file=sys.stderr)
+        return 2
+
+    paths = options.paths or _default_paths()
+    analyzer = Analyzer(rules)
+    findings = analyzer.analyze_paths(paths)
+
+    if options.write_baseline:
+        Baseline.from_findings(findings).dump(options.write_baseline)
+        print(f"pact lint: wrote {len(findings)} finding(s) to "
+              f"{options.write_baseline}")
+        return 0
+
+    unused: list[dict] = []
+    if options.baseline:
+        try:
+            baseline = Baseline.load(options.baseline)
+        except (ValueError, OSError) as error:
+            print(f"pact lint: bad baseline: {error}", file=sys.stderr)
+            return 2
+        unused = baseline.unused_entries(findings)
+        findings = baseline.filter(findings)
+
+    render = render_json if options.format == "json" else render_text
+    print(render(findings, unused))
+    return 1 if findings or unused else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

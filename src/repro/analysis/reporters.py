@@ -1,0 +1,49 @@
+"""Reporters: findings -> text for humans, JSON for machines."""
+
+from __future__ import annotations
+
+import json
+
+__all__ = ["render_json", "render_text"]
+
+
+def render_text(findings, unused_baseline=()) -> str:
+    """One line per finding, ``path:line: severity [rule] message``,
+    with the offending source quoted underneath — the shape editors
+    and CI log scrapers both parse."""
+    lines = []
+    for finding in findings:
+        lines.append(f"{finding.path}:{finding.line}: "
+                     f"{finding.severity} [{finding.rule}] "
+                     f"{finding.message}")
+        if finding.code:
+            lines.append(f"    {finding.code}")
+    for entry in unused_baseline:
+        lines.append(f"baseline: unused entry [{entry['rule']}] "
+                     f"{entry['module']}: {entry['code'].strip()} "
+                     "(fixed? remove it from the baseline)")
+    if findings or unused_baseline:
+        errors = sum(1 for finding in findings
+                     if str(finding.severity) == "error")
+        lines.append(f"{len(findings)} finding(s) "
+                     f"({errors} error(s)), "
+                     f"{len(list(unused_baseline))} unused baseline "
+                     "entr(y/ies)")
+    else:
+        lines.append("clean: no findings")
+    return "\n".join(lines)
+
+
+def render_json(findings, unused_baseline=()) -> str:
+    document = {
+        "findings": [finding.to_dict() for finding in findings],
+        "unused_baseline": list(unused_baseline),
+        "summary": {
+            "total": len(findings),
+            "errors": sum(1 for finding in findings
+                          if str(finding.severity) == "error"),
+            "warnings": sum(1 for finding in findings
+                            if str(finding.severity) == "warning"),
+        },
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

@@ -21,8 +21,6 @@ and the engine delegates.
 
 from __future__ import annotations
 
-import hashlib
-import json
 import pathlib
 from dataclasses import dataclass
 from functools import cached_property
@@ -32,6 +30,7 @@ from repro.core.slicing import dedupe_projection
 from repro.errors import CounterError
 from repro.smt.printer import print_term, write_script
 from repro.smt.terms import Term
+from repro.utils.canonical import canonical_params_json, fingerprint_digest
 
 # The historical prefix of every fingerprint (engine/cache.py's
 # "pact-cache-v1"); keeping it means caches written before the API layer
@@ -54,8 +53,8 @@ def fingerprint_terms(assertions, projection,
     pieces.append("|projection|")
     pieces.extend(f"{var.name}:{var.sort!r}" for var in projection)
     if params:
-        pieces.append(json.dumps(dict(params), sort_keys=True, default=str))
-    return hashlib.sha256("\n".join(pieces).encode()).hexdigest()
+        pieces.append(canonical_params_json(params))
+    return fingerprint_digest(pieces)
 
 
 def key_incremental_mode(params: dict, incremental: bool) -> dict:

@@ -172,7 +172,7 @@ class CountResponse:
         """Rebuild from a cache entry; entries written by the pre-API
         cache format (no ``counter``/``iterations`` keys) load too."""
         return cls(estimate=payload.get("estimate"),
-                   status=Status.coerce(payload.get("status", "error")),
+                   status=Status.coerce(payload.get("status", Status.ERROR)),
                    exact=bool(payload.get("exact", False)),
                    counter=payload.get("counter", counter),
                    problem=problem,

@@ -59,6 +59,7 @@ from repro.harness.cactus import cactus_csv, cactus_plot, cactus_table
 from repro.harness.presets import Preset
 from repro.harness.report import matrix_summary, records_csv
 from repro.harness.table1 import run_table1, table1_rows
+from repro.status import Status
 
 
 def _problem(args) -> Problem:
@@ -257,7 +258,7 @@ def _cmd_serve(args) -> int:
 
 
 def _progress_printer(record) -> None:
-    status = "ok" if record.solved else record.status
+    status = Status.OK if record.solved else record.status
     source = "cache" if record.cached else f"{record.time_seconds:6.2f}s"
     print(f"  [{record.configuration:>10}] {record.instance:<32} "
           f"{status:>8} {source:>8}", flush=True)
@@ -391,6 +392,23 @@ def _add_request_arguments(parser) -> None:
                              "(A/B baseline; estimates are identical)")
 
 
+def _cmd_lint(args) -> int:
+    # Delegate to the analysis CLI so `pact lint` and
+    # `python -m repro.analysis` share one implementation.
+    from repro.analysis.cli import main as lint_main
+    argv = list(args.paths)
+    argv += ["--format", args.format]
+    if args.baseline:
+        argv += ["--baseline", args.baseline]
+    if args.rules:
+        argv += ["--rules", args.rules]
+    if args.write_baseline:
+        argv += ["--write-baseline", args.write_baseline]
+    if args.list_rules:
+        argv += ["--list-rules"]
+    return lint_main(argv)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="pact",
@@ -479,6 +497,19 @@ def build_parser() -> argparse.ArgumentParser:
                             "--cache-dir names a .sqlite/.db file)")
     _add_engine_arguments(serve)
     serve.set_defaults(handler=_cmd_serve)
+
+    lint = sub.add_parser(
+        "lint", help="invariant-aware static analysis "
+                     "(determinism, locks, pickling, event loop)")
+    lint.add_argument("paths", nargs="*",
+                      help="files/directories (default: src)")
+    lint.add_argument("--format", choices=("text", "json"),
+                      default="text")
+    lint.add_argument("--baseline", metavar="PATH")
+    lint.add_argument("--rules", metavar="ID[,ID...]")
+    lint.add_argument("--write-baseline", metavar="PATH")
+    lint.add_argument("--list-rules", action="store_true")
+    lint.set_defaults(handler=_cmd_lint)
 
     run = sub.add_parser(
         "run", help="the evaluation matrix with pool + result cache")

@@ -57,7 +57,6 @@ worker threads do).
 from __future__ import annotations
 
 import abc
-import hashlib
 import json
 import os
 import tempfile
@@ -65,6 +64,8 @@ import threading
 import time
 from pathlib import Path
 from typing import Mapping
+
+from repro.utils.canonical import canonical_params_json, fingerprint_digest
 
 CACHE_VERSION = 1
 DEFAULT_FILENAME = "pact-cache.json"
@@ -94,8 +95,8 @@ def script_fingerprint(script: str, params: Mapping | None = None) -> str:
     """Fingerprint from an already-serialised SMT-LIB script."""
     pieces = [f"pact-cache-v{CACHE_VERSION}", script]
     if params:
-        pieces.append(json.dumps(dict(params), sort_keys=True, default=str))
-    return hashlib.sha256("\n".join(pieces).encode()).hexdigest()
+        pieces.append(canonical_params_json(params))
+    return fingerprint_digest(pieces)
 
 
 def _write_atomic(directory: Path, target: Path, prefix: str,
@@ -129,6 +130,8 @@ def _sweep_stale_temps(directory: Path) -> None:
         candidates = list(directory.glob(".*.tmp"))
     except OSError:
         return
+    # pact: allow[det-wallclock] — file-age sweep threshold, never key
+    # material: fingerprints do not see this value.
     horizon = time.time() - STALE_TEMP_SECONDS
     for path in candidates:
         try:
@@ -275,12 +278,16 @@ class ResultCache(ResultStore):
                 # Refresh recency for the LRU bound; persisted so recency
                 # survives across runs.  Unbounded caches skip the stamp so
                 # an all-hit run stays read-only (no document rewrite).
+                # pact: allow[det-wallclock] — recency metadata beside the
+                # entry, never folded into the fingerprint.
                 entry["used_at"] = time.time()
                 self._dirty = True
             return dict(entry)
 
     def put(self, fingerprint: str, payload: Mapping) -> None:
         record = dict(payload)
+        # pact: allow[det-wallclock] — saved_at/used_at are recency
+        # metadata beside the entry, never folded into the fingerprint.
         now = time.time()
         record.setdefault("saved_at", now)
         record["used_at"] = now
@@ -289,20 +296,24 @@ class ResultCache(ResultStore):
             self._dirty = True
 
     def _evict_over_bound(self) -> None:
-        if self.max_entries is None:
-            return
-        entries = self._load()
-        excess = len(entries) - self.max_entries
-        if excess <= 0:
-            return
-        by_recency = sorted(
-            entries,
-            key=lambda f: (entries[f].get("used_at")
-                           or entries[f].get("saved_at") or 0.0))
-        for fingerprint in by_recency[:excess]:
-            del entries[fingerprint]
-            self.evictions += 1
-        self._dirty = True
+        # The lock is reentrant: flush() already holds it, and taking it
+        # here keeps the method safe (and the lock rule satisfied) if a
+        # future caller forgets.
+        with self._lock:
+            if self.max_entries is None:
+                return
+            entries = self._load()
+            excess = len(entries) - self.max_entries
+            if excess <= 0:
+                return
+            by_recency = sorted(
+                entries,
+                key=lambda f: (entries[f].get("used_at")
+                               or entries[f].get("saved_at") or 0.0))
+            for fingerprint in by_recency[:excess]:
+                del entries[fingerprint]
+                self.evictions += 1
+            self._dirty = True
 
     def flush(self) -> None:
         """Atomically persist the cache if anything changed.
@@ -340,16 +351,19 @@ class ResultCache(ResultStore):
         try:
             payload = json.loads(path.read_text())
         except (OSError, ValueError):
-            self.artifact_misses += 1
+            with self._lock:
+                self.artifact_misses += 1
             return None
         if not isinstance(payload, dict):
-            self.artifact_misses += 1
+            with self._lock:
+                self.artifact_misses += 1
             return None
         try:
             os.utime(path)  # refresh LRU recency
         except OSError:
             pass
-        self.artifact_hits += 1
+        with self._lock:
+            self.artifact_hits += 1
         return payload
 
     def has_artifact(self, digest: str, simplified: bool = True) -> bool:
@@ -367,26 +381,29 @@ class ResultCache(ResultStore):
             self._trim_artifacts()
 
     def _trim_artifacts(self) -> None:
-        if self.max_artifacts is None:
-            return
-        try:
-            files = [path for path in self.artifact_dir.glob("*.json")]
-        except OSError:
-            return
-        excess = len(files) - self.max_artifacts
-        if excess <= 0:
-            return
-        def mtime(path):
+        # Reentrant from put_artifact (which holds the lock); taking it
+        # again keeps the eviction counter write lock-atomic on its own.
+        with self._lock:
+            if self.max_artifacts is None:
+                return
             try:
-                return path.stat().st_mtime
+                files = [path for path in self.artifact_dir.glob("*.json")]
             except OSError:
-                return 0.0
-        for path in sorted(files, key=mtime)[:excess]:
-            try:
-                path.unlink()
-                self.artifact_evictions += 1
-            except OSError:
-                pass
+                return
+            excess = len(files) - self.max_artifacts
+            if excess <= 0:
+                return
+            def mtime(path):
+                try:
+                    return path.stat().st_mtime
+                except OSError:
+                    return 0.0
+            for path in sorted(files, key=mtime)[:excess]:
+                try:
+                    path.unlink()
+                    self.artifact_evictions += 1
+                except OSError:
+                    pass
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:

@@ -97,7 +97,7 @@ def _run_slot(spec: SlotSpec, budget: float | None = None) -> RunRecord:
 
 def _cached_record(entry: dict, configuration: str,
                    instance: Instance) -> RunRecord:
-    status = Status.coerce(entry.get("status", "error"))
+    status = Status.coerce(entry.get("status", Status.ERROR))
     return RunRecord(
         configuration=configuration, instance=instance.name,
         logic=instance.logic, solved=status is Status.OK,

@@ -69,12 +69,16 @@ class ConstraintGraph:
                      for variables, rhs in xors]
         self.num_clauses = len(self.clauses)
         occ: list[list[int]] = [[] for _ in range(num_vars + 1)]
+        # Dedupe by *variable* (a clause holding both polarities of v
+        # must register once, not twice) and sort so occurrence lists —
+        # which feed component traversal order and therefore residual
+        # signatures — are canonical regardless of set iteration order.
         for index, clause in enumerate(self.clauses):
-            for lit in set(clause):
-                occ[abs(lit)].append(index)
+            for var in sorted({abs(lit) for lit in clause}):
+                occ[var].append(index)
         for index, (variables, _rhs) in enumerate(self.xors):
             cid = self.num_clauses + index
-            for var in set(variables):
+            for var in sorted(set(variables)):
                 occ[var].append(cid)
         self.occ = [tuple(ids) for ids in occ]
 

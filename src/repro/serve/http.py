@@ -223,5 +223,5 @@ async def http_request(host: str, port: int, method: str, path: str,
             writer.close()
             try:
                 await writer.wait_closed()
-            except (ConnectionError, OSError):
+            except OSError:
                 pass

@@ -201,13 +201,13 @@ class CountingService:
                 await writer.drain()
                 if not request.keep_alive:
                     break
-        except (ConnectionError, asyncio.IncompleteReadError, OSError):
+        except (asyncio.IncompleteReadError, OSError):
             pass   # client went away; any running job still completes
         finally:
             writer.close()
             try:
                 await writer.wait_closed()
-            except (ConnectionError, OSError):
+            except OSError:
                 pass
 
     async def _dispatch(self, request: HttpRequest) -> bytes:
@@ -302,7 +302,7 @@ class CountingService:
 
     def _healthz(self) -> bytes:
         document = {
-            "status": "draining" if self.draining else "ok",
+            "status": "draining" if self.draining else str(Status.OK),
             "queue_depth": self.queue.depth,
             "running": self._running,
             "uptime_seconds": round(
@@ -336,9 +336,9 @@ class CountingService:
             try:
                 payload = await asyncio.to_thread(self._execute, job)
                 job.status = ("done" if payload.get("status")
-                              not in ("error",) else "failed")
+                              not in (Status.ERROR,) else "failed")
             except Exception as error:  # noqa: BLE001 - answered, not fatal
-                payload = {"job": job.id, "status": "error",
+                payload = {"job": job.id, "status": str(Status.ERROR),
                            "detail": f"{type(error).__name__}: {error}"}
                 job.status = "failed"
             job.result = payload
@@ -443,9 +443,10 @@ class CountingService:
             response = self.session.count(problem, request,
                                           deadline=deadline)
             entries.append(_response_document(response))
-        solved = sum(1 for entry in entries if entry["status"] == "ok")
-        return {"job": job.id, "status": "ok", "solved": solved,
-                "entries": entries}
+        solved = sum(1 for entry in entries
+                     if entry["status"] == Status.OK)
+        return {"job": job.id, "status": str(Status.OK),
+                "solved": solved, "entries": entries}
 
     def _execute_portfolio(self, job: Job,
                            remaining: float | None) -> dict:
@@ -455,7 +456,8 @@ class CountingService:
             problem, counters, self._request(job.payload),
             timeout=remaining)
         document = {"job": job.id,
-                    "status": "ok" if outcome.solved else "unsolved",
+                    "status": (str(Status.OK) if outcome.solved
+                               else "unsolved"),
                     "winner": outcome.winner,
                     "elapsed": round(outcome.elapsed, 6),
                     "entries": [_response_document(entry)

@@ -1,0 +1,74 @@
+"""The bench-artifact schema checker: valid files pass, each way a
+file can be malformed is reported, and the checked-in artifacts
+conform."""
+
+import json
+import pathlib
+import sys
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO / "benchmarks"))
+
+from check_bench_schema import (  # noqa: E402
+    check_directory, main, validate_document,
+)
+
+VALID = {
+    "bench": "smoke",
+    "metrics": {"median_speedup": 1.4,
+                "breakdown": {"sat": 3, "unsat": 2}},
+    "timestamp_env": {"timestamp": "2026-08-07T00:00:00+0000",
+                      "python": "3.11.7", "platform": "Linux",
+                      "cpus": 1},
+}
+
+
+def write(directory: pathlib.Path, name: str, document) -> None:
+    (directory / f"BENCH_{name}.json").write_text(
+        json.dumps(document) if not isinstance(document, str)
+        else document)
+
+
+def test_valid_document_passes():
+    assert validate_document("smoke", VALID) == []
+
+
+@pytest.mark.parametrize("mutate, expected", [
+    (lambda d: d.pop("metrics"), "missing key"),
+    (lambda d: d.pop("timestamp_env"), "missing key"),
+    (lambda d: d.update(extra=1), "unexpected key"),
+    (lambda d: d.update(bench="other"), "filename"),
+    (lambda d: d.update(metrics={}), "non-empty"),
+    (lambda d: d.update(metrics={"deep": {"a": {"b": 1}}}), "scalar"),
+    (lambda d: d["timestamp_env"].pop("cpus"), "missing"),
+])
+def test_each_malformation_is_reported(mutate, expected):
+    document = json.loads(json.dumps(VALID))
+    mutate(document)
+    problems = validate_document("smoke", document)
+    assert problems and expected in problems[0]
+
+
+def test_check_directory_reports_bad_json_and_exit_codes(tmp_path,
+                                                         capsys):
+    write(tmp_path, "smoke", VALID)
+    write(tmp_path, "broken", "{not json")
+    problems = check_directory(tmp_path)
+    assert len(problems) == 1 and "not valid JSON" in problems[0]
+    assert main([str(tmp_path)]) == 1
+
+    (tmp_path / "BENCH_broken.json").unlink()
+    assert main([str(tmp_path)]) == 0
+    assert "1 file(s) conform" in capsys.readouterr().out
+
+
+def test_empty_directory_is_clean(tmp_path):
+    assert check_directory(tmp_path) == []
+    assert main([str(tmp_path)]) == 0
+
+
+def test_checked_in_artifacts_conform():
+    problems = check_directory(REPO / "bench_results")
+    assert problems == [], "\n".join(problems)

@@ -1,0 +1,158 @@
+"""End-to-end: the repo tree lints clean, and the three historical
+bugs — the PR 1 ``hash()`` seeding bug, the PR 3 unlocked
+``CallCounter.record``, a blocking sleep in a ``serve/`` handler —
+trip their rules when surgically reintroduced into today's sources.
+
+The seeded-bug tests patch the *real* files' text (in memory, analyzed
+under their real paths), so they also pin the anchor lines: if a
+refactor moves the code, the `assert anchor in source` fails loudly
+and the surgery must be re-anchored, keeping the detection proof
+honest.
+"""
+
+import json
+import pathlib
+
+from repro.analysis import Analyzer
+from repro.analysis.cli import main as lint_main
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+SRC = REPO / "src"
+
+
+def read(relative: str) -> str:
+    return (SRC / relative).read_text()
+
+
+# ----------------------------------------------------------------------
+# the tree is clean
+# ----------------------------------------------------------------------
+def test_repo_tree_lints_clean():
+    findings = Analyzer().analyze_paths([SRC])
+    assert findings == [], "\n".join(
+        f"{finding.path}:{finding.line} [{finding.rule}] "
+        f"{finding.message}" for finding in findings)
+
+
+def test_cli_exits_zero_on_repo_tree(capsys):
+    code = lint_main([str(SRC), "--baseline",
+                      str(REPO / "lint-baseline.json")])
+    assert code == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_cli_json_format_is_machine_readable(capsys):
+    code = lint_main([str(SRC), "--format", "json"])
+    assert code == 0
+    document = json.loads(capsys.readouterr().out)
+    assert document["summary"] == {"total": 0, "errors": 0,
+                                   "warnings": 0}
+
+
+def test_checked_in_baseline_is_empty():
+    document = json.loads((REPO / "lint-baseline.json").read_text())
+    assert document == {"version": 1, "findings": []}
+
+
+def test_cli_nonzero_on_findings(tmp_path, capsys):
+    bad = tmp_path / "repro" / "api" / "problem.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("digest = hash(('a',))\n")
+    code = lint_main([str(tmp_path)])
+    assert code == 1
+    assert "det-builtin-hash" in capsys.readouterr().out
+
+
+def test_cli_rule_selection_and_unknown_rule(tmp_path, capsys):
+    bad = tmp_path / "repro" / "api" / "problem.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("import time\nstamp = time.time()\n"
+                   "digest = hash(('a',))\n")
+    # only the selected rule runs
+    assert lint_main([str(tmp_path), "--rules", "det-wallclock"]) == 1
+    out = capsys.readouterr().out
+    assert "det-wallclock" in out and "det-builtin-hash" not in out
+    # unknown ids are a usage error
+    assert lint_main([str(tmp_path), "--rules", "no-such-rule"]) == 2
+
+
+def test_cli_write_baseline_round_trip(tmp_path, capsys):
+    bad = tmp_path / "repro" / "api" / "problem.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("digest = hash(('a',))\n")
+    baseline = tmp_path / "baseline.json"
+    assert lint_main([str(tmp_path), "--write-baseline",
+                      str(baseline)]) == 0
+    capsys.readouterr()
+    # the written baseline silences the finding it recorded
+    assert lint_main([str(tmp_path), "--baseline",
+                      str(baseline)]) == 0
+
+
+def test_cli_list_rules(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    assert "det-builtin-hash" in out and "lock-discipline" in out
+
+
+# ----------------------------------------------------------------------
+# seeded-bug detection: the three historical incidents
+# ----------------------------------------------------------------------
+def test_reintroduced_pr1_hash_seeding_bug_is_caught():
+    source = read("repro/benchgen/generators.py")
+    anchor = ('rng = SeedSequence(seed, "benchgen")'
+              '.stream(f"{logic}/{template}")')
+    assert anchor in source, "surgery anchor moved — re-anchor the test"
+    buggy = source.replace(
+        anchor, "rng = random.Random(hash((logic, template, seed)))")
+    findings = Analyzer().analyze_source(
+        buggy, SRC / "repro/benchgen/generators.py")
+    assert "det-builtin-hash" in {finding.rule for finding in findings}
+
+
+def test_reintroduced_pr3_unlocked_record_is_caught():
+    source = read("repro/core/cells.py")
+    anchor = ("    def record(self, is_sat: bool) -> None:\n"
+              "        with self._lock:\n"
+              "            self.solver_calls += 1\n"
+              "            if is_sat:\n"
+              "                self.sat_answers += 1\n")
+    assert anchor in source, "surgery anchor moved — re-anchor the test"
+    buggy = source.replace(
+        anchor,
+        "    def record(self, is_sat: bool) -> None:\n"
+        "        self.solver_calls += 1\n"
+        "        if is_sat:\n"
+        "            self.sat_answers += 1\n")
+    findings = Analyzer().analyze_source(
+        buggy, SRC / "repro/core/cells.py")
+    locked_out = [finding for finding in findings
+                  if finding.rule == "lock-discipline"]
+    assert len(locked_out) == 2   # solver_calls and sat_answers
+
+
+def test_blocking_sleep_in_serve_handler_is_caught():
+    source = read("repro/serve/server.py")
+    anchor = ("    async def _submit(self, request: HttpRequest, "
+              "kind: str) -> bytes:\n"
+              "        body = request.json()\n")
+    assert anchor in source, "surgery anchor moved — re-anchor the test"
+    buggy = source.replace(
+        anchor, anchor + "        time.sleep(0.05)\n")
+    findings = Analyzer().analyze_source(
+        buggy, SRC / "repro/serve/server.py")
+    blocked = [finding for finding in findings
+               if finding.rule == "async-blocking"]
+    assert len(blocked) == 1
+    assert "time.sleep" in blocked[0].message
+
+
+def test_unsorted_set_iteration_in_components_is_caught():
+    source = read("repro/sat/components.py")
+    anchor = "for var in sorted({abs(lit) for lit in clause}):"
+    assert anchor in source, "surgery anchor moved — re-anchor the test"
+    buggy = source.replace(anchor,
+                           "for var in {abs(lit) for lit in clause}:")
+    findings = Analyzer().analyze_source(
+        buggy, SRC / "repro/sat/components.py")
+    assert "det-set-iter" in {finding.rule for finding in findings}

@@ -1,0 +1,136 @@
+"""Suppression (`# pact: allow[...]`) and baseline round-trip tests."""
+
+import json
+
+import pytest
+
+from repro.analysis import Analyzer, Baseline
+
+DET_PATH = "src/repro/api/problem.py"
+
+VIOLATION = "digest = hash(('a', 'b'))\n"
+
+
+def lint(source: str, path: str = DET_PATH):
+    return Analyzer().analyze_source(source, path)
+
+
+# ----------------------------------------------------------------------
+# inline suppressions
+# ----------------------------------------------------------------------
+def test_same_line_suppression():
+    source = ("digest = hash(('a', 'b'))  "
+              "# pact: allow[det-builtin-hash] test-only digest\n")
+    assert lint(source) == []
+
+
+def test_comment_above_suppression():
+    source = ("# pact: allow[det-builtin-hash] — test-only digest\n"
+              + VIOLATION)
+    assert lint(source) == []
+
+
+def test_comment_block_above_suppression():
+    source = ("# pact: allow[det-builtin-hash] — this digest never\n"
+              "# leaves the process, so randomisation is harmless.\n"
+              + VIOLATION)
+    assert lint(source) == []
+
+
+def test_wrong_rule_id_does_not_suppress():
+    source = ("# pact: allow[det-wallclock]\n" + VIOLATION)
+    findings = lint(source)
+    assert [finding.rule for finding in findings] == \
+        ["det-builtin-hash"]
+
+
+def test_comma_separated_ids_suppress_both():
+    source = ("# pact: allow[det-wallclock, det-builtin-hash]\n"
+              "import time\n"
+              "digest = hash(time.time())\n")
+    findings = lint(source)
+    # only line 3's rules are suppressed by the comment above... the
+    # comment sits above line 2; line 3 is not adjacent to it
+    assert [finding.rule for finding in findings] == \
+        ["det-builtin-hash", "det-wallclock"]
+
+    adjacent = ("import time\n"
+                "# pact: allow[det-wallclock, det-builtin-hash]\n"
+                "digest = hash(time.time())\n")
+    assert lint(adjacent) == []
+
+
+def test_code_line_between_marker_and_violation_breaks_suppression():
+    source = ("# pact: allow[det-builtin-hash]\n"
+              "other = 1\n"
+              + VIOLATION)
+    assert [finding.rule for finding in lint(source)] == \
+        ["det-builtin-hash"]
+
+
+# ----------------------------------------------------------------------
+# baseline round-trip
+# ----------------------------------------------------------------------
+def test_baseline_round_trip(tmp_path):
+    findings = lint(VIOLATION)
+    assert len(findings) == 1
+
+    path = tmp_path / "baseline.json"
+    Baseline.from_findings(findings, "legacy digest, keyed "
+                                     "elsewhere").dump(path)
+    loaded = Baseline.load(path)
+    assert len(loaded) == 1
+
+    # baselined findings are filtered out, nothing is stale
+    assert loaded.filter(findings) == []
+    assert loaded.unused_entries(findings) == []
+
+
+def test_baseline_survives_line_drift(tmp_path):
+    baseline = Baseline.from_findings(lint(VIOLATION), "legacy")
+    # the same offending line, pushed down by unrelated edits
+    drifted = "import os\n\n\n" + VIOLATION
+    findings = lint(drifted)
+    assert findings[0].line == 4
+    assert baseline.filter(findings) == []
+
+
+def test_fixed_finding_surfaces_as_unused_entry(tmp_path):
+    baseline = Baseline.from_findings(lint(VIOLATION), "legacy")
+    clean: list = lint("import hashlib\n")
+    assert clean == []
+    unused = baseline.unused_entries(clean)
+    assert len(unused) == 1
+    assert unused[0]["rule"] == "det-builtin-hash"
+
+
+def test_baseline_multiset_semantics():
+    doubled = VIOLATION + VIOLATION
+    findings = lint(doubled)
+    assert len(findings) == 2
+    one_entry = Baseline.from_findings(findings[:1], "legacy")
+    surviving = one_entry.filter(findings)
+    assert len(surviving) == 1
+
+
+def test_baseline_requires_justification(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({
+        "version": 1,
+        "findings": [{"rule": "det-builtin-hash",
+                      "module": "repro/api/problem.py",
+                      "code": VIOLATION.strip()}]}))
+    with pytest.raises(ValueError, match="justification"):
+        Baseline.load(path)
+
+
+def test_baseline_rejects_unknown_version(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({"version": 99, "findings": []}))
+    with pytest.raises(ValueError, match="version"):
+        Baseline.load(path)
+
+
+def test_missing_baseline_file_is_empty():
+    baseline = Baseline.load("/nonexistent/baseline.json")
+    assert len(baseline) == 0
