@@ -7,10 +7,19 @@ reproducible across machines and Python versions) and fails if any
 family exceeds its recorded baseline in
 ``bench_results/solver_calls_baseline.json``.
 
-The exact component-caching counter is baselined once (key
-``exact:cc``) on the same smoke formula: it never uses a hash family,
-so one measurement covers it; its ``solver_calls`` are DPLL decisions —
-a pure function of the clause DB — and its count must stay bit-exact.
+Together the rows exercise every driver of the unified propagation
+kernel (``repro.sat.kernel``) on the same smoke formula:
+
+* the pact family rows and the ``cdm`` row drive the CDCL driver
+  (watched literals, XOR rows, push/pop ladder frames);
+* the ``exact:cc`` row drives the component-splitting DPLL driver —
+  its ``solver_calls`` are DPLL decisions, a pure function of the
+  clause DB plus the shared presolve lemmas, and its count must stay
+  bit-exact.
+
+A kernel change that alters any driver's search shows up here as a
+changed estimate (determinism break — hard fail) or a solver-call
+regression.
 
 Regenerate the baseline after an intentional search/schedule change:
 
@@ -21,7 +30,7 @@ import json
 import pathlib
 import sys
 
-from repro.core import PactConfig, pact_count
+from repro.core import PactConfig, cdm_count, pact_count
 from repro.count_exact import cc_count
 from repro.smt import bv_ult, bv_val, bv_var
 
@@ -31,6 +40,10 @@ WIDTH = 10
 SEED = 9
 ITERATIONS = 3
 FAMILIES = ("xor", "prime", "shift")
+# The q-fold self-composition multiplies formula size by the copy
+# count, so the cdm row gets a narrower smoke width to stay fast.
+CDM_WIDTH = 6
+CDM_ITERATIONS = 2
 
 
 def measure() -> dict:
@@ -45,6 +58,14 @@ def measure() -> dict:
         assert result.solved, f"{family}: smoke instance did not solve"
         results[family] = {"solver_calls": result.solver_calls,
                            "estimate": result.estimate}
+    cdm_bound = (1 << CDM_WIDTH) - (1 << (CDM_WIDTH - 3))
+    x = bv_var("ci_cdm", CDM_WIDTH)
+    cdm = cdm_count([bv_ult(x, bv_val(cdm_bound, CDM_WIDTH))], [x],
+                    seed=SEED, iteration_override=CDM_ITERATIONS,
+                    timeout=300)
+    assert cdm.solved, "cdm: smoke instance did not solve"
+    results["cdm"] = {"solver_calls": cdm.solver_calls,
+                      "estimate": cdm.estimate}
     x = bv_var("ci_exact_cc", WIDTH)
     exact = cc_count([bv_ult(x, bv_val(bound, WIDTH))], [x], timeout=300)
     assert exact.solved, "exact:cc: smoke instance did not solve"
@@ -63,7 +84,7 @@ def main() -> int:
         return 0
     baseline = json.loads(BASELINE_PATH.read_text())
     failed = False
-    keys = list(FAMILIES) + ["exact:cc"]
+    keys = list(FAMILIES) + ["cdm", "exact:cc"]
     for family in keys:
         got = measured[family]
         want = baseline[family]

@@ -60,13 +60,15 @@ DETERMINISM_MODULES = (
     "repro/api/problem.py",
     "repro/count_exact/signature.py",
     "repro/sat/dimacs.py",
+    "repro/sat/kernel.py",
     "repro/compile/memo.py",
     "repro/utils/canonical.py",
     "repro/benchgen/",
 )
 
-# The component substrate feeds canonical residual signatures, so its
-# iteration order is determinism-relevant too (det-set-iter only).
+# The kernel's compatibility faces re-export the ClauseDB that feeds
+# canonical residual signatures, so their iteration order is
+# determinism-relevant too (det-set-iter only).
 SET_ITER_MODULES = DETERMINISM_MODULES + (
     "repro/sat/components.py",
     "repro/count_exact/",
@@ -83,8 +85,8 @@ PICKLED_CLASSES = frozenset({"IterationSpec", "Task", "CallCounter"})
 # read-modify-write that drops updates under the thread backend — the
 # PR 3 CallCounter bug).
 THREAD_SHARED_CLASSES = frozenset({
-    "CallCounter", "Counter", "Gauge", "Histogram", "MetricsRegistry",
-    "ResultCache", "SqliteStore",
+    "CallCounter", "Counter", "Gauge", "Histogram", "KernelTelemetry",
+    "MetricsRegistry", "ResultCache", "SqliteStore",
 })
 
 _LOCK_FACTORIES = frozenset({

@@ -116,6 +116,15 @@ class CompiledProblem:
         LRA atom terms (pure discrete problems after preprocessing)."""
         return not self.atoms
 
+    def clause_db(self, extra_clauses=()):
+        """The artifact as an occurrence-indexed kernel
+        :class:`repro.sat.kernel.ClauseDB` (the storage the exact
+        counter's component driver searches over).  ``extra_clauses``
+        are appended verbatim — the LRA closure path."""
+        from repro.sat.kernel import ClauseDB
+        return ClauseDB.from_snapshot(self.snapshot,
+                                      extra_clauses=extra_clauses)
+
     def to_dimacs(self) -> str:
         """The artifact as DIMACS CNF(+XOR) with ``c p show`` lines.
 

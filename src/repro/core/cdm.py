@@ -40,6 +40,7 @@ from repro.core.result import CountResult
 from repro.core.search import find_boundary
 from repro.core.slicing import dedupe_projection, total_bits
 from repro.errors import ResourceBudgetError, SolverTimeoutError
+from repro.sat.kernel import TELEMETRY
 from repro.smt.model import free_variables
 from repro.smt.parser import substitute
 from repro.smt.solver import SmtSolver
@@ -222,8 +223,11 @@ def cdm_count(assertions, projection: list[Term], epsilon: float = 0.8,
         iterations = iteration_override
     calls = CallCounter()
     estimates: list[int] = []
+    solver = None
 
     def finish(estimate, status=Status.OK, exact=False):
+        if solver is not None:
+            TELEMETRY.merge(solver.sat.stats, prefix="cdm.")
         return CountResult(
             estimate=estimate, status=status, exact=exact,
             solver_calls=calls.solver_calls, sat_answers=calls.sat_answers,

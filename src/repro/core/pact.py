@@ -41,6 +41,7 @@ from repro.core.result import CountResult
 from repro.core.search import find_boundary
 from repro.core.slicing import dedupe_projection, total_bits
 from repro.errors import CounterError, ResourceBudgetError, SolverTimeoutError
+from repro.sat.kernel import TELEMETRY
 from repro.smt.solver import SmtSolver
 from repro.status import Status
 from repro.smt.terms import Term
@@ -194,8 +195,13 @@ def pact_count(assertions: list[Term], projection: list[Term],
 
     calls = CallCounter()
     estimates: list[int] = []
+    solver = None
 
     def finish(estimate, status=Status.OK, exact=False):
+        if solver is not None:
+            # One process-wide kernel-telemetry merge per count: the
+            # CDCL driver's cumulative counters for this solve series.
+            TELEMETRY.merge(solver.sat.stats, prefix="pact.")
         return CountResult(
             estimate=estimate, status=status, exact=exact,
             solver_calls=calls.solver_calls, sat_answers=calls.sat_answers,

@@ -9,13 +9,25 @@ the compiled clause DB, specialised to *projected* counting:
   (1 or 0), decided by the same search as a subproblem.
 * **Connected-component decomposition** — after every propagation the
   residual formula is split into variable-disjoint components
-  (:meth:`repro.sat.components.ConstraintGraph.split`); their projected
-  counts multiply.  Unconstrained ("free") projection bits contribute a
+  (:meth:`repro.sat.kernel.ClauseDB.split`); their projected counts
+  multiply.  Unconstrained ("free") projection bits contribute a
   factor of 2 each and are never searched.
 * **Component caching** — every component's count is cached under its
   canonical signature (:mod:`repro.count_exact.signature`), so
   structurally repeated subformulas — ubiquitous under comparator and
   adder circuits — are counted once.
+* **Conflict learning** — the search runs on the kernel's
+  :class:`repro.sat.kernel.ComponentDriver`, which resolves every
+  propagation conflict back to its decision literals and keeps the
+  learnt clause; clauses learned inside one component prune sibling
+  branches that repeat the same doomed prefix.  Learnt clauses never
+  enter the occurrence index, so residual signatures — the cache keys
+  — are untouched.  Soundness of caching under learning follows
+  Cachet's discipline: a learnt clause prunes correctly inside a
+  component only if every *sibling* component of the enclosing scopes
+  is satisfiable, so whenever a scope's product hits zero every cache
+  entry inserted during that scope is purged (see
+  :meth:`_Search._purge`).
 * **Theory exactness** — XOR rows propagate natively; lazy LRA atoms
   are closed eagerly into blocking clauses before the search
   (:mod:`repro.count_exact.closure`), so the Boolean projected count
@@ -38,8 +50,9 @@ from repro.count_exact.signature import (
     component_signature, projection_occurrences,
 )
 from repro.errors import CounterError, SolverTimeoutError
-from repro.sat.components import (
-    Component, ConstraintGraph, FALSE_V, TRUE_V, UNSET_V,
+from repro.sat.kernel import (
+    TELEMETRY, Component, ComponentDriver, FALSE_V, TRUE_V, build_driver,
+    presolve_lemmas,
 )
 from repro.smt.terms import Term
 from repro.status import Status
@@ -76,7 +89,9 @@ class CcStats:
 
     __slots__ = ("decisions", "components", "cache_hits", "cache_misses",
                  "sat_checks", "free_bits", "closure_atoms",
-                 "closure_checks", "closure_clauses")
+                 "closure_checks", "closure_clauses", "conflicts",
+                 "learned", "learnt_evicted", "purged", "shared_units",
+                 "shared_clauses")
 
     def __init__(self):
         self.decisions = 0
@@ -88,6 +103,12 @@ class CcStats:
         self.closure_atoms = 0
         self.closure_checks = 0
         self.closure_clauses = 0
+        self.conflicts = 0
+        self.learned = 0
+        self.learnt_evicted = 0
+        self.purged = 0
+        self.shared_units = 0
+        self.shared_clauses = 0
 
     def as_detail(self) -> str:
         """The compact stats string persisted with the result (the
@@ -98,6 +119,16 @@ class CcStats:
                  f"cache_entries={self.cache_misses}",
                  f"sat_checks={self.sat_checks}",
                  f"free_bits={self.free_bits}"]
+        if self.conflicts or self.learned:
+            parts.append(
+                f"learning={self.learned} learnt/"
+                f"{self.conflicts} conflicts/"
+                f"{self.purged} purged/"
+                f"{self.learnt_evicted} evicted")
+        if self.shared_units or self.shared_clauses:
+            parts.append(
+                f"shared={self.shared_units} units/"
+                f"{self.shared_clauses} clauses")
         if self.closure_atoms:
             parts.append(
                 f"closure={self.closure_atoms} atoms/"
@@ -107,44 +138,63 @@ class CcStats:
 
 
 class _Search:
-    """The recursive search: one instance per count, state on the trail."""
+    """The recursive search: one instance per count, state on the trail.
 
-    def __init__(self, graph: ConstraintGraph, projection: frozenset,
+    Assignment state, propagation and conflict learning live in the
+    :class:`repro.sat.kernel.ComponentDriver`; this class owns the
+    counting policy — branching, decomposition, the component cache and
+    its purge discipline.
+    """
+
+    def __init__(self, driver: ComponentDriver, projection: frozenset,
                  deadline: Deadline, stats: CcStats):
-        self.graph = graph
+        self.driver = driver
         self.projection = projection
         self.deadline = deadline
         self.stats = stats
-        self.values = [UNSET_V] * (graph.num_vars + 1)
-        self.trail: list[int] = []
         self.cache: dict[tuple, int] = {}
+        # Insertion-ordered log of live cache keys: the purge discipline
+        # pops every key inserted after a scope's watermark (slicing the
+        # tail off the log), so a key appears at most once in the log.
+        self._cache_log: list[tuple] = []
 
     # ------------------------------------------------------------------
     def assert_roots(self, units) -> bool:
         """Assert the snapshot's root units and propagate; False = UNSAT."""
-        for lit in units:
-            if not self.graph.assign(self.values, self.trail, lit):
-                return False
-        return self.graph.propagate(self.values, self.trail, 0)
+        return self.driver.assert_roots(units)
 
     def count_scope(self, scope) -> int:
         """Projected count of the residual formula over ``scope``
         (unassigned variables): free-bit factor times the product of the
-        component counts."""
-        components, free = self.graph.split(self.values, scope)
+        component counts.
+
+        If any component counts to zero, every cache entry inserted
+        while counting this scope is purged: with learning on, sibling
+        counts computed next to an unsatisfiable component may have
+        been pruned by learnt clauses whose context cannot be extended
+        to a model, so they are lower bounds, not counts (Sang et al.
+        2004).  The zero product itself is always sound — an
+        unsatisfiable piece zeroes the scope no matter what the
+        siblings were.
+        """
+        components, free = self.driver.split(scope)
         free_projection = sum(1 for var in free if var in self.projection)
         self.stats.free_bits += free_projection
         result = 1 << free_projection
+        watermark = len(self._cache_log)
         for component in components:
             if result == 0:
                 break
             result *= self.count_component(component)
+        if result == 0:
+            self._purge(watermark)
         return result
 
     def count_component(self, component: Component) -> int:
         """The projected count of one component, through the cache."""
         self.stats.components += 1
-        signature = component_signature(self.graph, self.values, component)
+        signature = component_signature(self.driver.db, self.driver.values,
+                                        component)
         cached = self.cache.get(signature)
         if cached is not None:
             self.stats.cache_hits += 1
@@ -158,7 +208,26 @@ class _Search:
             result = (self._branch_count(component, branch, TRUE_V)
                       + self._branch_count(component, branch, FALSE_V))
         self.cache[signature] = result
+        self._cache_log.append(signature)
         return result
+
+    # ------------------------------------------------------------------
+    def _purge(self, watermark: int) -> None:
+        """Drop every cache entry inserted after ``watermark``.
+
+        Entries are popped in insertion order off the log tail; a key in
+        the tail was inserted (not hit) there, so it is live in the
+        cache exactly once and the pop removes precisely the suspect
+        entries.  With learning off every entry is sound, so the purge
+        is skipped and the search is the pre-kernel substrate verbatim.
+        """
+        if not self.driver.learn or watermark >= len(self._cache_log):
+            return
+        tail = self._cache_log[watermark:]
+        del self._cache_log[watermark:]
+        for signature in tail:
+            self.cache.pop(signature, None)
+        self.stats.purged += len(tail)
 
     # ------------------------------------------------------------------
     def _pick_branch_variable(self, signature: tuple) -> int | None:
@@ -173,22 +242,11 @@ class _Search:
 
     def _decide(self, var: int, value: int) -> int | None:
         """Assign ``var`` and propagate; trail mark on success, else None
-        (with the trail already unwound)."""
+        (with the trail already unwound and any conflict learned)."""
         self.stats.decisions += 1
         if self.stats.decisions % _DEADLINE_CHECK_INTERVAL == 0:
             self.deadline.check()
-        mark = len(self.trail)
-        lit = var if value == TRUE_V else -var
-        if (self.graph.assign(self.values, self.trail, lit)
-                and self.graph.propagate(self.values, self.trail, mark)):
-            return mark
-        self._unwind(mark)
-        return None
-
-    def _unwind(self, mark: int) -> None:
-        for var in self.trail[mark:]:
-            self.values[var] = UNSET_V
-        del self.trail[mark:]
+        return self.driver.decide(var if value == TRUE_V else -var)
 
     def _branch_count(self, component: Component, var: int,
                       value: int) -> int:
@@ -198,27 +256,31 @@ class _Search:
         try:
             return self.count_scope(component.variables)
         finally:
-            self._unwind(mark)
+            self.driver.unwind(mark)
 
     def _satisfiable(self, component: Component) -> int:
         """Satisfiability of a projection-free component, as 0/1.
 
         Plain DPLL with the same decomposition: after a decision the
         component may fall apart, and every piece (cached like any other
-        component) must be satisfiable.
+        component) must be satisfiable.  A branch whose pieces are not
+        all satisfiable purges the entries it inserted, exactly like a
+        zero scope — counts cached next to the unsatisfiable piece may
+        have been over-pruned by learnt clauses.
         """
         branch = component.variables[0]
         for value in (TRUE_V, FALSE_V):
             mark = self._decide(branch, value)
             if mark is None:
                 continue
+            watermark = len(self._cache_log)
             try:
-                components, _free = self.graph.split(self.values,
-                                                     component.variables)
+                components, _free = self.driver.split(component.variables)
                 if all(self.count_component(piece) for piece in components):
                     return 1
+                self._purge(watermark)
             finally:
-                self._unwind(mark)
+                self.driver.unwind(mark)
         return 0
 
 
@@ -226,12 +288,16 @@ class _Search:
 # entry points
 # ----------------------------------------------------------------------
 def count_compiled(artifact, *, deadline: Deadline | None = None,
-                   timeout: float | None = None) -> CountResult:
+                   timeout: float | None = None,
+                   learn: bool = True) -> CountResult:
     """Count a :class:`repro.compile.CompiledProblem` exactly.
 
     The artifact is the same one the pact counters solve on (shared
     through the per-process compile memo and the on-disk artifact
     store); XOR rows and root units come straight from its snapshot.
+    ``learn=False`` disables the driver's conflict learning — the
+    search then visits exactly the decisions of the pre-kernel
+    substrate (differential-testing hook).
     """
     start = time.monotonic()
     if deadline is None:
@@ -244,6 +310,7 @@ def count_compiled(artifact, *, deadline: Deadline | None = None,
         raise CounterError(
             "exact:cc requires distinct SAT variables per projection bit")
 
+    driver = None
     try:
         deadline.check()
         closure = lra_closure(artifact.atoms, deadline=deadline)
@@ -251,40 +318,71 @@ def count_compiled(artifact, *, deadline: Deadline | None = None,
         stats.closure_checks = closure.checks
         stats.closure_clauses = len(closure.clauses)
 
-        graph = ConstraintGraph.from_snapshot(
-            artifact.snapshot, extra_clauses=closure.clauses)
-        search = _Search(graph, frozenset(projection_vars), deadline,
+        driver = build_driver("component", artifact.snapshot,
+                              extra_clauses=closure.clauses, learn=learn)
+        search = _Search(driver, frozenset(projection_vars), deadline,
                          stats)
         _ensure_recursion_limit(
-            4 * graph.num_vars + _RECURSION_HEADROOM)
-        if not artifact.snapshot.ok or not search.assert_roots(
-                artifact.snapshot.units):
+            4 * driver.db.num_vars + _RECURSION_HEADROOM)
+        roots = list(artifact.snapshot.units)
+        presat = artifact.snapshot.ok
+        if learn and presat:
+            # Learnt-clause sharing across drivers: a bounded CDCL pass
+            # over the same snapshot yields backbone literals (asserted
+            # as extra roots) and short lemmas (seeded into the learnt
+            # store) — every one entailed by the formula, so the count
+            # is unchanged while propagation gets ahead of the search.
+            verdict, shared_units, shared_clauses = presolve_lemmas(
+                artifact.snapshot, deadline=deadline)
+            if verdict is False:
+                presat = False
+            else:
+                roots.extend(shared_units)
+                stats.shared_units = len(shared_units)
+                stats.shared_clauses = driver.seed(shared_clauses)
+        if not presat or not search.assert_roots(roots):
             count = 0
         else:
-            count = search.count_scope(range(1, graph.num_vars + 1))
+            count = search.count_scope(range(1, driver.db.num_vars + 1))
     except SolverTimeoutError:
+        _merge_driver_stats(stats, driver)
         return CountResult(
             estimate=None, status=Status.TIMEOUT,
             solver_calls=stats.decisions,
             time_seconds=time.monotonic() - start,
             detail=stats.as_detail())
+    _merge_driver_stats(stats, driver)
     return CountResult(
         estimate=count, status=Status.OK, exact=True,
         solver_calls=stats.decisions, sat_answers=0,
         time_seconds=time.monotonic() - start, detail=stats.as_detail())
 
 
+def _merge_driver_stats(stats: CcStats, driver) -> None:
+    """Fold the driver's learning counters into the count's stats and
+    the process-wide kernel telemetry (once per count)."""
+    if driver is None:
+        return
+    counters = driver.stats()
+    stats.conflicts = counters["conflicts"]
+    stats.learned = counters["learned"]
+    stats.learnt_evicted = counters["learnt_evicted"]
+    counters["decisions"] = stats.decisions
+    TELEMETRY.merge(counters, prefix="cc.")
+
+
 def cc_count(assertions, projection: list[Term],
              timeout: float | None = None, *,
              deadline: Deadline | None = None, simplify: bool = True,
              script: str | None = None,
-             digest: str | None = None) -> CountResult:
+             digest: str | None = None, learn: bool = True) -> CountResult:
     """Count |Sol(F)|_S| exactly by component-caching search.
 
     Same calling convention as the other counters: ``deadline``
     optionally replaces the ``timeout``-derived deadline; ``simplify``
     selects the compile pipeline's A/B mode; ``digest`` short-circuits
-    artifact hashing when the caller already has the compile key.
+    artifact hashing when the caller already has the compile key;
+    ``learn`` toggles the driver's conflict learning.
     """
     from repro.core.pact import compile_counting_problem
     if isinstance(assertions, Term):
@@ -295,6 +393,6 @@ def cc_count(assertions, projection: list[Term],
     artifact = compile_counting_problem(list(assertions), list(projection),
                                         simplify=simplify, script=script,
                                         digest=digest)
-    result = count_compiled(artifact, deadline=deadline)
+    result = count_compiled(artifact, deadline=deadline, learn=learn)
     result.time_seconds = time.monotonic() - start
     return result

@@ -6,7 +6,7 @@ Soundness rests entirely on the key: two cache keys may collide only if
 the components have the same count.
 
 The signature of a component is the sorted multiset of its constraints'
-canonical residuals (:meth:`repro.sat.components.ConstraintGraph.residual`):
+canonical residuals (:meth:`repro.sat.kernel.ClauseDB.residual`):
 each unsatisfied clause contributes ``("c", literals)`` (its unassigned
 literals, sorted), each open XOR row contributes ``("x", variables,
 parity)`` with the assigned variables folded into the required parity.
@@ -33,12 +33,12 @@ share one table without ambiguity.
 
 from __future__ import annotations
 
-from repro.sat.components import Component, ConstraintGraph
+from repro.sat.kernel import ClauseDB, Component
 
 __all__ = ["component_signature", "projection_occurrences"]
 
 
-def component_signature(graph: ConstraintGraph, values,
+def component_signature(graph: ClauseDB, values,
                         component: Component) -> tuple:
     """The canonical cache key of ``component`` under ``values``."""
     return tuple(sorted(

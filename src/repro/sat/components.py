@@ -1,280 +1,30 @@
-"""Connected-component analysis over a snapshot clause database.
+"""Compatibility face of the kernel's component substrate.
 
-The exact component-caching counter (:mod:`repro.count_exact`) searches
-over the *compiled* clause DB — the CNF clauses plus native XOR rows of a
-:class:`repro.sat.solver.SatSnapshot` — rather than through the CDCL
-solver: counting needs to decompose the residual formula under a partial
-assignment into variable-disjoint components, and a watched-literal
-solver deliberately hides exactly that structure.
+The occurrence-indexed clause-DB view that the exact component-caching
+counter (:mod:`repro.count_exact`) searches over moved into the unified
+propagation kernel (:mod:`repro.sat.kernel`) as
+:class:`repro.sat.kernel.ClauseDB`; the counter itself now drives it
+through :class:`repro.sat.kernel.ComponentDriver`, which layers reason
+tracking and in-component conflict learning on the same BCP.
 
-:class:`ConstraintGraph` is the shared substrate: an occurrence-indexed,
-immutable view of (clauses, XOR rows) with three operations over an
-external assignment array —
-
-* :meth:`ConstraintGraph.propagate` — counter-style unit propagation
-  (clauses and XOR rows) driven off a plain trail list, no watchers, no
-  levels: state is the ``values`` array plus the trail, so backtracking
-  is "truncate the trail";
-* :meth:`ConstraintGraph.split` — partition the unassigned variables of
-  a scope into connected components over the *active* (not yet
-  satisfied) constraints, plus the scope variables no active constraint
-  mentions (the "free" variables — each free projection bit doubles the
-  count);
-* :meth:`ConstraintGraph.residual` — the canonical residual form of one
-  constraint under the assignment, the building block of the component
-  signature (:mod:`repro.count_exact.signature`).
+``ConstraintGraph`` remains importable here as an alias of
+:class:`ClauseDB` with its exact pre-kernel semantics — verbatim
+clause/XOR storage, canonical occurrence lists, trail-based
+``propagate`` over an external ``values`` array, ``residual`` canonical
+forms and ``split`` component extraction — so residual-signature cache
+keys built on it are unchanged.
 
 Assignment convention: ``values[var]`` is ``+1`` (true), ``-1`` (false)
-or ``0`` (unassigned), so a literal's value is ``values[var]`` for a
-positive literal and its negation for a negative one.  Everything here
-is deterministic: scopes are walked in sorted order and components come
-back sorted by their smallest variable.
+or ``0`` (unassigned); see :mod:`repro.sat.kernel`.
 """
 
 from __future__ import annotations
 
-from typing import NamedTuple
+from repro.sat.kernel import (
+    ClauseDB, Component, FALSE_V, TRUE_V, UNSET_V,
+)
 
 __all__ = ["Component", "ConstraintGraph", "FALSE_V", "TRUE_V", "UNSET_V"]
 
-TRUE_V = 1
-FALSE_V = -1
-UNSET_V = 0
-
-
-class Component(NamedTuple):
-    """One connected component: its unassigned variables and the active
-    constraint ids joining them (both sorted tuples)."""
-
-    variables: tuple[int, ...]
-    constraints: tuple[int, ...]
-
-
-class ConstraintGraph:
-    """An occurrence-indexed view of a CNF + XOR clause database.
-
-    ``clauses`` are literal lists; ``xors`` are ``(variables, rhs)``
-    parity rows.  Constraint ids are positional: clause ``i`` is id
-    ``i``, XOR row ``j`` is id ``len(clauses) + j``.  The graph itself
-    is immutable — all search state lives in the caller's ``values``
-    array and trail.
-    """
-
-    __slots__ = ("num_vars", "clauses", "xors", "num_clauses", "occ")
-
-    def __init__(self, num_vars: int, clauses, xors=()):
-        self.num_vars = num_vars
-        self.clauses = [tuple(clause) for clause in clauses]
-        self.xors = [(tuple(variables), bool(rhs))
-                     for variables, rhs in xors]
-        self.num_clauses = len(self.clauses)
-        occ: list[list[int]] = [[] for _ in range(num_vars + 1)]
-        # Dedupe by *variable* (a clause holding both polarities of v
-        # must register once, not twice) and sort so occurrence lists —
-        # which feed component traversal order and therefore residual
-        # signatures — are canonical regardless of set iteration order.
-        for index, clause in enumerate(self.clauses):
-            for var in sorted({abs(lit) for lit in clause}):
-                occ[var].append(index)
-        for index, (variables, _rhs) in enumerate(self.xors):
-            cid = self.num_clauses + index
-            for var in sorted(set(variables)):
-                occ[var].append(cid)
-        self.occ = [tuple(ids) for ids in occ]
-
-    @classmethod
-    def from_snapshot(cls, snapshot, extra_clauses=()) -> "ConstraintGraph":
-        """Build from a :class:`repro.sat.solver.SatSnapshot` (root units
-        are *not* folded in — the caller asserts them on its own values
-        array so they go through the same propagation path)."""
-        return cls(snapshot.num_vars,
-                   list(snapshot.clauses) + [list(c) for c in extra_clauses],
-                   snapshot.xors)
-
-    def __len__(self) -> int:
-        return self.num_clauses + len(self.xors)
-
-    # ------------------------------------------------------------------
-    # assignment + propagation
-    # ------------------------------------------------------------------
-    @staticmethod
-    def assign(values, trail: list[int], lit: int) -> bool:
-        """Assert ``lit``; False on contradiction with the current value."""
-        var = lit if lit > 0 else -lit
-        want = TRUE_V if lit > 0 else FALSE_V
-        current = values[var]
-        if current != UNSET_V:
-            return current == want
-        values[var] = want
-        trail.append(var)
-        return True
-
-    def propagate(self, values, trail: list[int], start: int) -> bool:
-        """Unit-propagate from ``trail[start:]`` to fixpoint.
-
-        Implied assignments are appended to ``trail``; returns False on
-        conflict (the caller unwinds the trail either way).  After a
-        True return every unsatisfied clause and every open XOR row has
-        at least two unassigned variables.
-        """
-        head = start
-        num_clauses = self.num_clauses
-        clauses = self.clauses
-        xors = self.xors
-        occ = self.occ
-        while head < len(trail):
-            var = trail[head]
-            head += 1
-            for cid in occ[var]:
-                if cid < num_clauses:
-                    unit = 0
-                    open_lits = 0
-                    satisfied = False
-                    for lit in clauses[cid]:
-                        value = values[lit] if lit > 0 else -values[-lit]
-                        if value == TRUE_V:
-                            satisfied = True
-                            break
-                        if value == UNSET_V:
-                            open_lits += 1
-                            if open_lits > 1:
-                                break
-                            unit = lit
-                    if satisfied or open_lits > 1:
-                        continue
-                    if open_lits == 0:
-                        return False
-                    if not self.assign(values, trail, unit):
-                        return False
-                else:
-                    variables, rhs = xors[cid - num_clauses]
-                    parity = rhs
-                    open_var = 0
-                    open_count = 0
-                    for v in variables:
-                        value = values[v]
-                        if value == UNSET_V:
-                            open_count += 1
-                            if open_count > 1:
-                                break
-                            open_var = v
-                        elif value == TRUE_V:
-                            parity = not parity
-                    if open_count > 1:
-                        continue
-                    if open_count == 0:
-                        if parity:
-                            return False
-                        continue
-                    lit = open_var if parity else -open_var
-                    if not self.assign(values, trail, lit):
-                        return False
-        return True
-
-    # ------------------------------------------------------------------
-    # residuals
-    # ------------------------------------------------------------------
-    def residual(self, values, cid: int):
-        """The canonical residual of constraint ``cid`` under ``values``.
-
-        ``None`` when the constraint is inactive (clause satisfied; XOR
-        row fully assigned — propagation guarantees its parity holds).
-        Otherwise a clause yields ``("c", literals)`` (its unassigned
-        literals, sorted) and an XOR row yields ``("x", variables,
-        parity)`` with the still-required parity folded over the
-        assigned variables.  The leading tags keep residuals mutually
-        comparable so signatures can sort them.
-        """
-        if cid < self.num_clauses:
-            open_lits = []
-            for lit in self.clauses[cid]:
-                value = values[lit] if lit > 0 else -values[-lit]
-                if value == TRUE_V:
-                    return None
-                if value == UNSET_V:
-                    open_lits.append(lit)
-            return ("c", tuple(sorted(open_lits)))
-        variables, rhs = self.xors[cid - self.num_clauses]
-        parity = rhs
-        open_vars = []
-        for var in variables:
-            value = values[var]
-            if value == UNSET_V:
-                open_vars.append(var)
-            elif value == TRUE_V:
-                parity = not parity
-        if not open_vars:
-            return None
-        return ("x", tuple(sorted(open_vars)), parity)
-
-    # ------------------------------------------------------------------
-    # component extraction
-    # ------------------------------------------------------------------
-    def split(self, values, scope) -> tuple[list[Component], list[int]]:
-        """Partition the unassigned variables of ``scope`` into connected
-        components over the active constraints.
-
-        Returns ``(components, free)``: components sorted by smallest
-        member variable, each with its sorted variables and constraint
-        ids; ``free`` is the sorted list of unassigned scope variables
-        that appear in no active constraint (unconstrained — a counter
-        multiplies by 2 per free projection bit and ignores the rest).
-        """
-        num_clauses = self.num_clauses
-        # Lazily computed per-split: cid -> tuple of unassigned vars, or
-        # None when the constraint is inactive under ``values``.
-        active: dict[int, tuple[int, ...] | None] = {}
-
-        def open_vars(cid: int):
-            cached = active.get(cid, False)
-            if cached is not False:
-                return cached
-            if cid < num_clauses:
-                result: tuple[int, ...] | None = None
-                collected = []
-                for lit in self.clauses[cid]:
-                    value = values[lit] if lit > 0 else -values[-lit]
-                    if value == TRUE_V:
-                        break
-                    if value == UNSET_V:
-                        collected.append(abs(lit))
-                else:
-                    result = tuple(collected)
-            else:
-                variables, _rhs = self.xors[cid - num_clauses]
-                collected = [v for v in variables if values[v] == UNSET_V]
-                result = tuple(collected) if collected else None
-            active[cid] = result
-            return result
-
-        components: list[Component] = []
-        free: list[int] = []
-        seen: set[int] = set()
-        for root in sorted(scope):
-            if values[root] != UNSET_V or root in seen:
-                continue
-            member_vars: set[int] = set()
-            member_cids: set[int] = set()
-            queue = [root]
-            seen.add(root)
-            while queue:
-                var = queue.pop()
-                member_vars.add(var)
-                for cid in self.occ[var]:
-                    if cid in member_cids:
-                        continue
-                    vars_of = open_vars(cid)
-                    if vars_of is None:
-                        continue
-                    member_cids.add(cid)
-                    for other in vars_of:
-                        if other not in seen:
-                            seen.add(other)
-                            queue.append(other)
-            if member_cids:
-                components.append(Component(
-                    tuple(sorted(member_vars)),
-                    tuple(sorted(member_cids))))
-            else:
-                free.append(root)
-        return components, free
+#: Pre-kernel name of :class:`repro.sat.kernel.ClauseDB`.
+ConstraintGraph = ClauseDB

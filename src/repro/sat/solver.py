@@ -1,8 +1,16 @@
-"""A conflict-driven clause-learning (CDCL) SAT solver.
+"""The CDCL SAT solver — the kernel's CDCL driver under its public name.
 
 This is the reproduction's stand-in for the SAT core inside CVC5 /
-CryptoMiniSat.  Feature set (all standard, all load-bearing for pact's
-workload of repeated incremental solves):
+CryptoMiniSat.  Since the kernel unification the machinery lives in
+:mod:`repro.sat.kernel`: :class:`repro.sat.kernel.PropagationKernel`
+owns the clause/XOR storage, watch indexes, assignment trail, conflict
+analysis and push/pop frames, and :class:`repro.sat.kernel.CdclDriver`
+adds the CDCL search policy.  :class:`SatSolver` is that driver — the
+public API (``solve``/``push``/``pop``/``snapshot``/``clone_from`` and
+the construction surface) and its behaviour are unchanged.
+
+Feature set (all standard, all load-bearing for pact's workload of
+repeated incremental solves):
 
 * two-watched-literal unit propagation;
 * first-UIP conflict analysis with clause minimisation (self-subsumption
@@ -10,16 +18,13 @@ workload of repeated incremental solves):
 * VSIDS variable activities with a lazy max-heap, phase saving;
 * Luby-sequence restarts;
 * activity-based learnt-clause database reduction;
-* native XOR rows via :class:`repro.sat.xor_engine.XorEngine`;
+* native XOR rows via :class:`repro.sat.xor_engine.XorEngine`, with
+  Gauss–Jordan elimination of the root-born rows at solve time (dense
+  XOR systems collapse to their reduced basis; rows living inside
+  frames — pact's hash constraints — are never touched);
 * push/pop frames: clauses, XOR rows, variables and level-0 implications
-  added after a :meth:`push` vanish on :meth:`pop` — exactly the
-  discipline SaturatingCounter needs (hash constraints + blocking clauses
-  per cell);
-* safe learnt-clause retention across :meth:`pop`: a learnt clause whose
-  variables and whole derivation (antecedent clauses, XOR rows,
-  root-level assignments) predate the popped frame is entailed by what
-  remains, so it survives the pop instead of being thrown away — the
-  incremental-solving payoff of pact's hash-ladder workload (disable
+  added after a :meth:`SatSolver.push` vanish on :meth:`SatSolver.pop`;
+* safe learnt-clause retention across :meth:`SatSolver.pop` (disable
   with ``retain_learnts = False``);
 * wall-clock deadlines and conflict budgets.
 
@@ -28,741 +33,14 @@ Literals are DIMACS-style signed ints (see :mod:`repro.sat.types`).
 
 from __future__ import annotations
 
-import heapq
-from typing import Iterable
+from repro.sat.kernel import CdclDriver, PropagationKernel, SatSnapshot
 
-from repro.errors import ResourceBudgetError
-from repro.sat.clause import Clause
-from repro.sat.types import FALSE, TRUE, UNASSIGNED, lit_index
-from repro.sat.xor_engine import XorEngine
-from repro.utils.deadline import Deadline
-from repro.utils.luby import luby
-
-_RESTART_BASE = 128
-_ACTIVITY_RESCALE = 1e100
-_DEADLINE_CHECK_INTERVAL = 64  # conflicts between deadline polls
+__all__ = ["PropagationKernel", "SatSnapshot", "SatSolver"]
 
 
-class SatSnapshot:
-    """An immutable image of a root-frame solver state.
+class SatSolver(CdclDriver):
+    """Incremental CDCL solver with native XOR support.
 
-    Captured by :meth:`SatSolver.snapshot` and restored by
-    :meth:`SatSolver.clone_from`: the variable count, the root clause
-    database, the level-0 trail (units) and the native XOR rows.  Learnt
-    clauses are *not* part of the image — a snapshot identifies a
-    formula, not a search state — so cloning is cheap and deterministic.
-    The compile pipeline (:mod:`repro.compile`) stores one of these per
-    compiled problem and seeds every iteration's solver from it instead
-    of re-running preprocessing + bit-blasting.
+    The canonical CDCL driver over the shared propagation kernel; see
+    the module docstring and :mod:`repro.sat.kernel`.
     """
-
-    __slots__ = ("num_vars", "clauses", "units", "xors", "ok")
-
-    def __init__(self, num_vars: int,
-                 clauses: tuple[tuple[int, ...], ...],
-                 units: tuple[int, ...],
-                 xors: tuple[tuple[tuple[int, ...], bool], ...],
-                 ok: bool = True):
-        self.num_vars = num_vars
-        self.clauses = clauses
-        self.units = units
-        self.xors = xors
-        self.ok = ok
-
-    def __getstate__(self):
-        return {name: getattr(self, name) for name in self.__slots__}
-
-    def __setstate__(self, state):
-        for name, value in state.items():
-            setattr(self, name, value)
-
-    def __eq__(self, other) -> bool:
-        if not isinstance(other, SatSnapshot):
-            return NotImplemented
-        return all(getattr(self, name) == getattr(other, name)
-                   for name in self.__slots__)
-
-    def __repr__(self) -> str:
-        return (f"SatSnapshot(vars={self.num_vars}, "
-                f"clauses={len(self.clauses)}, units={len(self.units)}, "
-                f"xors={len(self.xors)}, ok={self.ok})")
-
-
-class _Frame:
-    """Bookkeeping snapshot for push/pop."""
-
-    __slots__ = ("num_vars", "num_clauses", "num_learnts", "trail_len",
-                 "xor_mark", "ok")
-
-    def __init__(self, num_vars, num_clauses, num_learnts, trail_len,
-                 xor_mark, ok):
-        self.num_vars = num_vars
-        self.num_clauses = num_clauses
-        self.num_learnts = num_learnts
-        self.trail_len = trail_len
-        self.xor_mark = xor_mark
-        self.ok = ok
-
-
-class SatSolver:
-    """Incremental CDCL solver with native XOR support."""
-
-    def __init__(self):
-        self._assigns: list[int] = [UNASSIGNED]  # index 0 unused
-        self._level: list[int] = [0]
-        self._reason: list = [None]  # Clause | ("xor", row) | None
-        self._activity: list[float] = [0.0]
-        self._phase: list[bool] = [False]
-        # Frame depth of each variable's level-0 assignment (meaningful
-        # only while the variable is root-assigned; popping that frame
-        # unassigns it via the trail mark).
-        self._assign_frame: list[int] = [0]
-        self._watches: list[list[Clause]] = []
-        self._clauses: list[Clause] = []
-        self._learnts: list[Clause] = []
-        self._trail: list[int] = []
-        self._trail_lim: list[int] = []
-        self._qhead = 0
-        self._order_heap: list[tuple[float, int]] = []
-        self._var_inc = 1.0
-        self._var_decay = 1.0 / 0.95
-        self._cla_inc = 1.0
-        self._cla_decay = 1.0 / 0.999
-        self._frames: list[_Frame] = []
-        self._ok = True
-        self._max_learnts = 4000.0
-        self.retain_learnts = True
-        # Bitmask views of the assignment, consumed by the XOR engine.
-        self.assigned_mask = 0
-        self.true_mask = 0
-        self.xor = XorEngine(self)
-        # statistics
-        self.stats = {
-            "decisions": 0, "propagations": 0, "conflicts": 0,
-            "restarts": 0, "solves": 0, "learnt_literals": 0,
-            "retained_learnts": 0,
-        }
-
-    # ------------------------------------------------------------------
-    # problem construction
-    # ------------------------------------------------------------------
-    def new_var(self) -> int:
-        """Allocate a fresh variable and return its (positive) id."""
-        self._assigns.append(UNASSIGNED)
-        self._level.append(0)
-        self._reason.append(None)
-        self._activity.append(0.0)
-        self._phase.append(False)
-        self._assign_frame.append(0)
-        self._watches.append([])
-        self._watches.append([])
-        var = len(self._assigns) - 1
-        heapq.heappush(self._order_heap, (0.0, var))
-        return var
-
-    def new_vars(self, count: int) -> list[int]:
-        """Allocate ``count`` fresh variables."""
-        return [self.new_var() for _ in range(count)]
-
-    def num_vars(self) -> int:
-        return len(self._assigns) - 1
-
-    def num_clauses(self) -> int:
-        return len(self._clauses)
-
-    def num_learnts(self) -> int:
-        return len(self._learnts)
-
-    @property
-    def ok(self) -> bool:
-        """False once the formula is known unsatisfiable at level 0."""
-        return self._ok
-
-    def value(self, lit: int) -> int:
-        """Current value of a literal: TRUE, FALSE or UNASSIGNED."""
-        v = self._assigns[lit if lit > 0 else -lit]
-        if v == UNASSIGNED:
-            return UNASSIGNED
-        return v if lit > 0 else v ^ 1
-
-    def add_clause(self, lits: Iterable[int]) -> bool:
-        """Add a clause; backtracks to decision level 0 first.
-
-        Returns False if the solver becomes (or already was) inconsistent.
-        """
-        self._backtrack(0)
-        if not self._ok:
-            return False
-        seen = set()
-        simplified: list[int] = []
-        for lit in lits:
-            var = lit if lit > 0 else -lit
-            if var <= 0 or var > self.num_vars():
-                raise ValueError(f"unknown variable in literal {lit}")
-            if -lit in seen:
-                return True  # tautology
-            if lit in seen:
-                continue
-            value = self.value(lit)
-            if value == TRUE:
-                return True  # already satisfied at level 0
-            if value == FALSE:
-                continue  # literal can never help
-            seen.add(lit)
-            simplified.append(lit)
-        if not simplified:
-            self._ok = False
-            return False
-        if len(simplified) == 1:
-            if not self._enqueue_root(simplified[0]):
-                return False
-            return self._propagate_root()
-        clause = Clause(simplified, dep=len(self._frames))
-        self._clauses.append(clause)
-        self._watch_clause(clause)
-        return True
-
-    def add_xor(self, variables: list[int], rhs: bool) -> bool:
-        """Add a parity constraint; backtracks to decision level 0 first."""
-        self._backtrack(0)
-        if not self._ok:
-            return False
-        if not self.xor.add_xor(variables, rhs):
-            self._ok = False
-            return False
-        return self._propagate_root()
-
-    def _watch_clause(self, clause: Clause) -> None:
-        self._watches[lit_index(clause.lits[0])].append(clause)
-        self._watches[lit_index(clause.lits[1])].append(clause)
-
-    def _propagate_root(self) -> bool:
-        conflict = self._propagate()
-        if conflict is not None:
-            self._ok = False
-            return False
-        return True
-
-    # ------------------------------------------------------------------
-    # frames
-    # ------------------------------------------------------------------
-    def push(self) -> None:
-        """Open a frame: everything added after this call pops with it."""
-        self._backtrack(0)
-        self._qhead = len(self._trail)
-        self._frames.append(_Frame(
-            self.num_vars(), len(self._clauses), len(self._learnts),
-            len(self._trail), self.xor.mark(), self._ok,
-        ))
-
-    def pop(self) -> None:
-        """Close the innermost frame, restoring the solver state.
-
-        Learnt clauses born inside the frame whose variables and whole
-        derivation predate it (``dep`` below the popped depth, no
-        frame-local variable) are entailed by the surviving formula and
-        are retained instead of deleted.
-        """
-        if not self._frames:
-            raise RuntimeError("pop without matching push")
-        depth = len(self._frames)
-        frame = self._frames.pop()
-        self._backtrack(0)
-        # Undo level-0 assignments made inside the frame.
-        for lit in self._trail[frame.trail_len:]:
-            self._unassign(lit)
-        del self._trail[frame.trail_len:]
-        self._qhead = min(self._qhead, frame.trail_len)
-        # Remove clauses added inside the frame; retain the learnts whose
-        # derivation never touched it.
-        for clause in self._clauses[frame.num_clauses:]:
-            clause.deleted = True
-        del self._clauses[frame.num_clauses:]
-        tail = self._learnts[frame.num_learnts:]
-        del self._learnts[frame.num_learnts:]
-        num_vars = frame.num_vars
-        for clause in tail:
-            if (self.retain_learnts and not clause.deleted
-                    and clause.dep < depth
-                    and all((lit if lit > 0 else -lit) <= num_vars
-                            for lit in clause.lits)):
-                self._learnts.append(clause)
-                self.stats["retained_learnts"] += 1
-            else:
-                clause.deleted = True
-        self.xor.truncate(frame.xor_mark)
-        # Drop frame-local variables.
-        if self.num_vars() > frame.num_vars:
-            del self._assigns[frame.num_vars + 1:]
-            del self._level[frame.num_vars + 1:]
-            del self._reason[frame.num_vars + 1:]
-            del self._activity[frame.num_vars + 1:]
-            del self._phase[frame.num_vars + 1:]
-            del self._assign_frame[frame.num_vars + 1:]
-            del self._watches[2 * frame.num_vars:]
-        self._ok = frame.ok
-
-    @property
-    def frame_depth(self) -> int:
-        return len(self._frames)
-
-    # ------------------------------------------------------------------
-    # snapshots (the compile pipeline's clause-DB transfer)
-    # ------------------------------------------------------------------
-    def snapshot(self) -> SatSnapshot:
-        """Capture the root formula as an immutable :class:`SatSnapshot`.
-
-        Only legal at frame depth 0 (the compile pipeline snapshots right
-        after bit-blasting, before any hash or blocking frame opens).
-        Backtracks to decision level 0 first; learnt clauses are left out
-        by design (see :class:`SatSnapshot`).
-        """
-        if self._frames:
-            raise RuntimeError(
-                "snapshot() requires frame depth 0 "
-                f"(currently {len(self._frames)})")
-        self._backtrack(0)
-        return SatSnapshot(
-            num_vars=self.num_vars(),
-            clauses=tuple(tuple(clause.lits) for clause in self._clauses
-                          if not clause.deleted),
-            units=tuple(self._trail),
-            xors=tuple((tuple(row.variables()), bool(row.rhs))
-                       for row in self.xor.rows),
-            ok=self._ok)
-
-    def clone_from(self, snap: SatSnapshot) -> "SatSolver":
-        """Load ``snap`` into this (pristine) solver and return it.
-
-        Replays the image through the normal construction path —
-        ``new_vars``, root units, clauses, XOR rows — so watches, masks
-        and propagation state are rebuilt consistently.  Much cheaper
-        than re-running preprocessing + Tseitin blasting: the work is
-        linear in the clause database.
-        """
-        if self.num_vars() or self._clauses or self._frames or self._trail:
-            raise RuntimeError("clone_from() requires a pristine solver")
-        self.new_vars(snap.num_vars)
-        for lit in snap.units:
-            self.add_clause([lit])
-        for clause in snap.clauses:
-            self.add_clause(clause)
-        for variables, rhs in snap.xors:
-            self.add_xor(list(variables), rhs)
-        if not snap.ok:
-            self._ok = False
-        return self
-
-    @classmethod
-    def from_snapshot(cls, snap: SatSnapshot) -> "SatSolver":
-        """A fresh solver loaded from ``snap`` (see :meth:`clone_from`)."""
-        return cls().clone_from(snap)
-
-    # ------------------------------------------------------------------
-    # assignment trail
-    # ------------------------------------------------------------------
-    def _enqueue(self, lit: int, reason) -> bool:
-        """Assign ``lit`` true with ``reason``; False if already false."""
-        var = lit if lit > 0 else -lit
-        current = self._assigns[var]
-        if current != UNASSIGNED:
-            return (current == TRUE) == (lit > 0)
-        value = TRUE if lit > 0 else FALSE
-        self._assigns[var] = value
-        self._level[var] = len(self._trail_lim)
-        self._reason[var] = reason
-        if not self._trail_lim:
-            # Root assignment: lives (and is entailed) exactly while the
-            # current frame does — the retention bound for any learnt
-            # clause whose analysis skipped this variable.
-            self._assign_frame[var] = len(self._frames)
-        self._trail.append(lit)
-        bit = 1 << var
-        self.assigned_mask |= bit
-        if value == TRUE:
-            self.true_mask |= bit
-        return True
-
-    def _enqueue_root(self, lit: int) -> bool:
-        """Level-0 unit assignment (no reason needed)."""
-        if not self._enqueue(lit, None):
-            self._ok = False
-            return False
-        return True
-
-    def _unassign(self, lit: int) -> None:
-        var = lit if lit > 0 else -lit
-        self._phase[var] = self._assigns[var] == TRUE
-        self._assigns[var] = UNASSIGNED
-        self._reason[var] = None
-        bit = 1 << var
-        self.assigned_mask &= ~bit
-        self.true_mask &= ~bit
-        heapq.heappush(self._order_heap, (-self._activity[var], var))
-
-    def _backtrack(self, level: int) -> None:
-        if len(self._trail_lim) <= level:
-            return
-        bound = self._trail_lim[level]
-        for lit in reversed(self._trail[bound:]):
-            self._unassign(lit)
-        del self._trail[bound:]
-        del self._trail_lim[level:]
-        self._qhead = bound
-
-    def decision_level(self) -> int:
-        return len(self._trail_lim)
-
-    # ------------------------------------------------------------------
-    # propagation
-    # ------------------------------------------------------------------
-    def _propagate(self) -> Clause | None:
-        """Propagate queued assignments; return a conflict clause or None."""
-        while self._qhead < len(self._trail):
-            lit = self._trail[self._qhead]
-            self._qhead += 1
-            self.stats["propagations"] += 1
-            conflict = self._propagate_clauses(-lit)
-            if conflict is not None:
-                return conflict
-            conflict = self.xor.on_assign(lit if lit > 0 else -lit)
-            if conflict is not None:
-                return conflict
-        return None
-
-    def _propagate_clauses(self, false_lit: int) -> Clause | None:
-        """Visit clauses watching ``false_lit`` (which just became false)."""
-        widx = lit_index(false_lit)
-        watchers = self._watches[widx]
-        assigns = self._assigns
-        kept = 0
-        i = 0
-        n = len(watchers)
-        conflict = None
-        while i < n:
-            clause = watchers[i]
-            i += 1
-            if clause.deleted:
-                continue
-            lits = clause.lits
-            if lits[0] == false_lit:
-                lits[0] = lits[1]
-                lits[1] = false_lit
-            first = lits[0]
-            fv = assigns[first if first > 0 else -first]
-            if fv != UNASSIGNED and (fv == TRUE) == (first > 0):
-                watchers[kept] = clause
-                kept += 1
-                continue
-            moved = False
-            for k in range(2, len(lits)):
-                lk = lits[k]
-                kv = assigns[lk if lk > 0 else -lk]
-                if kv == UNASSIGNED or (kv == TRUE) == (lk > 0):
-                    lits[1] = lk
-                    lits[k] = false_lit
-                    self._watches[lit_index(lk)].append(clause)
-                    moved = True
-                    break
-            if moved:
-                continue
-            watchers[kept] = clause
-            kept += 1
-            if fv != UNASSIGNED:  # first is false: conflict
-                conflict = clause
-                while i < n:  # keep the remaining watchers
-                    watchers[kept] = watchers[i]
-                    kept += 1
-                    i += 1
-                break
-            self._enqueue(first, clause)
-        del watchers[kept:]
-        return conflict
-
-    # ------------------------------------------------------------------
-    # conflict analysis (first UIP)
-    # ------------------------------------------------------------------
-    def _reason_clause(self, var: int) -> Clause | None:
-        reason = self._reason[var]
-        if reason is None or isinstance(reason, Clause):
-            return reason
-        tag, row_index = reason
-        assert tag == "xor"
-        lit = var if self._assigns[var] == TRUE else -var
-        return self.xor.reason_clause(lit, row_index)
-
-    def _analyze(self, conflict: Clause) -> tuple[list[int], int, int]:
-        """First-UIP analysis; returns (learnt lits, backtrack level, dep).
-
-        learnt[0] is the asserting literal.  ``dep`` is the innermost
-        frame depth the derivation relied on — the deepest frame among
-        the antecedent clauses resolved on (XOR reasons carry their row's
-        birth frame) and the root assignments whose variables the
-        analysis skipped — i.e. the retention bound :meth:`pop` checks.
-        """
-        learnt = [0]
-        seen: set[int] = set()
-        counter = 0
-        lit = None
-        index = len(self._trail) - 1
-        current_level = self.decision_level()
-        reason_lits = conflict.lits
-        dep = conflict.dep
-        assign_frame = self._assign_frame
-        while True:
-            start = 1 if lit is not None else 0
-            for q in reason_lits[start:]:
-                var = q if q > 0 else -q
-                if var in seen:
-                    continue
-                if self._level[var] == 0:
-                    if assign_frame[var] > dep:
-                        dep = assign_frame[var]
-                    continue
-                seen.add(var)
-                self._bump_var(var)
-                if self._level[var] == current_level:
-                    counter += 1
-                else:
-                    learnt.append(q)
-            # Pick the next trail literal to resolve on.
-            while True:
-                lit = self._trail[index]
-                index -= 1
-                var = lit if lit > 0 else -lit
-                if var in seen:
-                    break
-            counter -= 1
-            if counter == 0:
-                learnt[0] = -lit
-                break
-            # Resolved variables always have a reason (first-UIP stops
-            # before reaching the decision), so no None check.
-            clause = self._reason_clause(var)
-            if clause.dep > dep:
-                dep = clause.dep
-            if clause.learnt:
-                self._bump_clause(clause)
-            reason_lits = clause.lits
-        dep = self._minimize(learnt, seen, dep)
-        # Compute backtrack level: second-highest decision level in learnt.
-        if len(learnt) == 1:
-            back_level = 0
-        else:
-            max_i = 1
-            for i in range(2, len(learnt)):
-                v = abs(learnt[i])
-                if self._level[v] > self._level[abs(learnt[max_i])]:
-                    max_i = i
-            learnt[1], learnt[max_i] = learnt[max_i], learnt[1]
-            back_level = self._level[abs(learnt[1])]
-        self.stats["learnt_literals"] += len(learnt)
-        return learnt, back_level, dep
-
-    def _minimize(self, learnt: list[int], seen: set[int],
-                  dep: int) -> int:
-        """Drop literals whose reasons are subsumed by the learnt clause.
-
-        Each drop resolves against the literal's reason clause, so its
-        frame dependencies (and those of the root assignments it leans
-        on) fold into ``dep``; returns the updated bound.
-        """
-        kept = [learnt[0]]
-        for lit in learnt[1:]:
-            var = lit if lit > 0 else -lit
-            reason = self._reason_clause(var)
-            if reason is None:
-                kept.append(lit)
-                continue
-            removable = True
-            for q in reason.lits:
-                qv = q if q > 0 else -q
-                if qv != var and qv not in seen and self._level[qv] > 0:
-                    removable = False
-                    break
-            if not removable:
-                kept.append(lit)
-                continue
-            if reason.dep > dep:
-                dep = reason.dep
-            for q in reason.lits:
-                qv = q if q > 0 else -q
-                if (self._level[qv] == 0
-                        and self._assign_frame[qv] > dep):
-                    dep = self._assign_frame[qv]
-        learnt[:] = kept
-        return dep
-
-    # ------------------------------------------------------------------
-    # activities
-    # ------------------------------------------------------------------
-    def _bump_var(self, var: int) -> None:
-        act = self._activity[var] + self._var_inc
-        self._activity[var] = act
-        if act > _ACTIVITY_RESCALE:
-            inv = 1.0 / _ACTIVITY_RESCALE
-            for v in range(1, len(self._activity)):
-                self._activity[v] *= inv
-            self._var_inc *= inv
-            self._order_heap = [
-                (-self._activity[v], v) for v in range(1, self.num_vars() + 1)
-                if self._assigns[v] == UNASSIGNED
-            ]
-            heapq.heapify(self._order_heap)
-            return
-        heapq.heappush(self._order_heap, (-act, var))
-
-    def _bump_clause(self, clause: Clause) -> None:
-        clause.activity += self._cla_inc
-        if clause.activity > _ACTIVITY_RESCALE:
-            inv = 1.0 / _ACTIVITY_RESCALE
-            for c in self._learnts:
-                c.activity *= inv
-            self._cla_inc *= inv
-
-    def _decay_activities(self) -> None:
-        self._var_inc *= self._var_decay
-        self._cla_inc *= self._cla_decay
-
-    # ------------------------------------------------------------------
-    # decisions
-    # ------------------------------------------------------------------
-    def _decide(self) -> int | None:
-        heap = self._order_heap
-        assigns = self._assigns
-        nv = self.num_vars()
-        while heap:
-            _, var = heapq.heappop(heap)
-            if var <= nv and assigns[var] == UNASSIGNED:
-                return var if self._phase[var] else -var
-        for var in range(1, nv + 1):  # heap exhausted: linear fallback
-            if assigns[var] == UNASSIGNED:
-                return var if self._phase[var] else -var
-        return None
-
-    # ------------------------------------------------------------------
-    # learnt clause DB reduction
-    # ------------------------------------------------------------------
-    def _reduce_db(self) -> None:
-        # Frames pin their learnts: only reduce clauses of the current frame
-        # tail, so pop() bookkeeping (index-based) stays valid.
-        start = self._frames[-1].num_learnts if self._frames else 0
-        tail = [c for c in self._learnts[start:] if not c.deleted]
-        if len(tail) < 64:
-            return
-        tail.sort(key=lambda c: c.activity)
-        locked = {
-            id(self._reason[abs(lit)])
-            for lit in self._trail
-            if isinstance(self._reason[abs(lit)], Clause)
-        }
-        to_delete = set()
-        for clause in tail[:len(tail) // 2]:
-            if len(clause.lits) > 2 and id(clause) not in locked:
-                to_delete.add(id(clause))
-        if not to_delete:
-            return
-        for clause in self._learnts[start:]:
-            if id(clause) in to_delete:
-                clause.deleted = True
-        self._learnts[start:] = [
-            c for c in self._learnts[start:] if not c.deleted
-        ]
-
-    # ------------------------------------------------------------------
-    # main search
-    # ------------------------------------------------------------------
-    def solve(self, deadline: Deadline | None = None,
-              conflict_budget: int | None = None) -> bool | None:
-        """Search for a satisfying assignment.
-
-        Returns True (SAT, model available via :meth:`model_value`),
-        False (UNSAT).  Raises :class:`SolverTimeoutError` on deadline
-        expiry and :class:`ResourceBudgetError` when ``conflict_budget``
-        conflicts have been spent.
-        """
-        self.stats["solves"] += 1
-        if deadline is None:
-            deadline = Deadline.unlimited()
-        deadline.check()
-        if not self._ok:
-            return False
-        self._backtrack(0)
-        self._qhead = 0  # re-propagate: frames may have changed the DB
-        if self._propagate() is not None:
-            self._ok = False
-            return False
-        conflicts_total = 0
-        restart_count = 0
-        while True:
-            restart_count += 1
-            budget = _RESTART_BASE * luby(restart_count)
-            result = self._search(budget, deadline, conflict_budget,
-                                  conflicts_total)
-            conflicts_total += abs(result[1])
-            if result[0] is not None:
-                return result[0]
-            self.stats["restarts"] += 1
-            self._backtrack(0)
-            if conflict_budget is not None and conflicts_total >= conflict_budget:
-                raise ResourceBudgetError(
-                    f"conflict budget {conflict_budget} exhausted")
-
-    def _search(self, budget: int, deadline: Deadline,
-                conflict_budget: int | None,
-                conflicts_before: int) -> tuple[bool | None, int]:
-        """Run CDCL until SAT/UNSAT or ``budget`` conflicts (restart)."""
-        conflicts = 0
-        while True:
-            conflict = self._propagate()
-            if conflict is not None:
-                self.stats["conflicts"] += 1
-                conflicts += 1
-                if self.decision_level() == 0:
-                    self._ok = False
-                    return False, conflicts
-                learnt, back_level, dep = self._analyze(conflict)
-                self._backtrack(back_level)
-                if len(learnt) == 1:
-                    self._enqueue(learnt[0], None)
-                else:
-                    clause = Clause(learnt, learnt=True, dep=dep)
-                    self._learnts.append(clause)
-                    self._watch_clause(clause)
-                    self._bump_clause(clause)
-                    self._enqueue(learnt[0], clause)
-                self._decay_activities()
-                if conflicts % _DEADLINE_CHECK_INTERVAL == 0:
-                    deadline.check()
-                if conflicts >= budget:
-                    return None, conflicts
-                if (conflict_budget is not None
-                        and conflicts_before + conflicts >= conflict_budget):
-                    return None, conflicts
-                continue
-            if len(self._learnts) > self._max_learnts:
-                self._reduce_db()
-            decision = self._decide()
-            if decision is None:
-                return True, conflicts  # all variables assigned: SAT
-            self.stats["decisions"] += 1
-            if self.stats["decisions"] % 512 == 0:
-                deadline.check()
-            self._trail_lim.append(len(self._trail))
-            self._enqueue(decision, None)
-
-    # ------------------------------------------------------------------
-    # model access
-    # ------------------------------------------------------------------
-    def model_value(self, lit: int) -> bool:
-        """Value of ``lit`` in the model found by the last SAT answer."""
-        value = self.value(lit)
-        if value == UNASSIGNED:
-            raise RuntimeError(f"literal {lit} unassigned; no model")
-        return value == TRUE
-
-    def model(self) -> list[bool]:
-        """The model as a list indexed by variable (index 0 unused)."""
-        return [False] + [
-            self._assigns[v] == TRUE for v in range(1, self.num_vars() + 1)
-        ]

@@ -70,6 +70,10 @@ class XorEngine:
         self.rows: list[XorRow] = []
         # watch lists: variable -> row indices currently watching it
         self._watch: dict[int, list[int]] = {}
+        # Length of the root-row prefix already in reduced form (see
+        # :meth:`eliminate_root`); re-elimination triggers only when
+        # new root rows appear beyond it.
+        self._eliminated = 0
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -198,6 +202,87 @@ class XorEngine:
         return Clause(lits, learnt=True, dep=row.birth)
 
     # ------------------------------------------------------------------
+    # dense-system elimination
+    # ------------------------------------------------------------------
+    def eliminate_root(self) -> bool:
+        """Gauss–Jordan the root-born rows into a reduced basis.
+
+        A dense XOR system (many overlapping rows, as in random parity
+        benchmarks) is nearly opaque to watch-based propagation: a row
+        only fires once all but one of its variables are assigned, so
+        CDCL search degenerates into near-enumeration.  The reduced
+        row-echelon basis spans the same GF(2) solution set but each
+        row couples one pivot variable to the (few) free columns, so
+        propagation cascades as soon as the free variables are decided
+        — the elimination turns an hours-scale search into
+        milliseconds on dense systems.
+
+        Only root-born rows (``birth == 0``, always a prefix of
+        ``rows``) are eliminated, and only at frame depth 0: frames
+        index rows positionally for :meth:`truncate`, and pact's hash
+        rows live inside frames by design — their propagation is
+        untouched, so counting behaviour is bit-identical.  Rows
+        reduced to a single variable become root units; inconsistent
+        combinations (empty row, odd parity) report False.  Idempotent:
+        re-runs only when new root rows appeared.
+        """
+        solver = self._solver
+        if solver.frame_depth or solver.decision_level():
+            return True
+        prefix = 0
+        for row in self.rows:
+            if row.birth != 0:
+                break
+            prefix += 1
+        if prefix < 2 or prefix <= self._eliminated:
+            return True
+        pivots: dict[int, list[int]] = {}
+        for row in self.rows[:prefix]:
+            mask = row.mask & ~solver.assigned_mask
+            parity = (row.rhs
+                      ^ ((row.mask & solver.true_mask).bit_count() & 1))
+            top = 0
+            while mask:
+                top = mask.bit_length() - 1
+                pivot = pivots.get(top)
+                if pivot is None:
+                    break
+                mask ^= pivot[0]
+                parity ^= pivot[1]
+            if mask == 0:
+                if parity:
+                    return False  # dependent rows with odd parity
+                continue
+            # Back-substitute the new pivot into the existing rows so
+            # the basis stays fully reduced (each variable appears in
+            # at most one row outside the free columns).
+            for other in pivots.values():
+                if (other[0] >> top) & 1:
+                    other[0] ^= mask
+                    other[1] ^= parity
+            pivots[top] = [mask, parity]
+        units: list[int] = []
+        reduced: list[XorRow] = []
+        for top in sorted(pivots, reverse=True):
+            mask, parity = pivots[top]
+            if mask & (mask - 1) == 0:  # single variable: unit
+                units.append(top if parity else -top)
+                continue
+            w1 = mask.bit_length() - 1
+            w2 = (mask ^ (1 << w1)).bit_length() - 1
+            reduced.append(XorRow(mask, parity, w1, w2, birth=0))
+        self.rows[:prefix] = reduced
+        self._eliminated = len(reduced)
+        self._watch = {}
+        for index, row in enumerate(self.rows):
+            self._watch.setdefault(row.w1, []).append(index)
+            self._watch.setdefault(row.w2, []).append(index)
+        for lit in units:
+            if not solver._enqueue_root(lit):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
     # frames
     # ------------------------------------------------------------------
     def mark(self) -> int:
@@ -214,6 +299,8 @@ class XorEngine:
         if mark > len(self.rows):
             raise ValueError("xor frame mark beyond current rows")
         del self.rows[mark:]
+        if self._eliminated > mark:
+            self._eliminated = mark
         self._watch = {}
         for index, row in enumerate(self.rows):
             self._watch.setdefault(row.w1, []).append(index)

@@ -147,12 +147,38 @@ def test_blocking_sleep_in_serve_handler_is_caught():
     assert "time.sleep" in blocked[0].message
 
 
-def test_unsorted_set_iteration_in_components_is_caught():
-    source = read("repro/sat/components.py")
+def test_unsorted_set_iteration_in_kernel_is_caught():
+    # The occurrence-index build moved into the kernel with the
+    # substrate unification; the canonical-order guard moved with it.
+    source = read("repro/sat/kernel.py")
     anchor = "for var in sorted({abs(lit) for lit in clause}):"
     assert anchor in source, "surgery anchor moved — re-anchor the test"
     buggy = source.replace(anchor,
                            "for var in {abs(lit) for lit in clause}:")
     findings = Analyzer().analyze_source(
-        buggy, SRC / "repro/sat/components.py")
+        buggy, SRC / "repro/sat/kernel.py")
     assert "det-set-iter" in {finding.rule for finding in findings}
+
+
+def test_unlocked_telemetry_write_is_caught():
+    # KernelTelemetry is on the lock-discipline walk list: a counter
+    # merge outside the instance lock must be flagged.
+    source = read("repro/sat/kernel.py")
+    anchor = ("        with self._lock:\n"
+              "            for key, value in source.items():\n"
+              "                name = prefix + key\n"
+              "                self.totals[name] = "
+              "self.totals.get(name, 0) + value\n")
+    assert anchor in source, "surgery anchor moved — re-anchor the test"
+    buggy = source.replace(
+        anchor,
+        "        self.totals = dict(self.totals)\n"
+        "        for key, value in source.items():\n"
+        "            name = prefix + key\n"
+        "            self.totals[name] = "
+        "self.totals.get(name, 0) + value\n")
+    findings = Analyzer().analyze_source(
+        buggy, SRC / "repro/sat/kernel.py")
+    locked_out = [finding for finding in findings
+                  if finding.rule == "lock-discipline"]
+    assert locked_out
