@@ -19,7 +19,11 @@ kernel (``repro.sat.kernel``) on the same smoke formula:
 
 A kernel change that alters any driver's search shows up here as a
 changed estimate (determinism break — hard fail) or a solver-call
-regression.
+regression.  Each row also records the kernel's ``propagations`` and
+``conflicts`` for that run (per-row deltas of the process-wide
+``KernelTelemetry``), gated the same way as ``solver_calls``: both are
+pure functions of the search, so any increase is a real propagation
+regression, not noise.
 
 Regenerate the baseline after an intentional search/schedule change:
 
@@ -32,6 +36,7 @@ import sys
 
 from repro.core import PactConfig, cdm_count, pact_count
 from repro.count_exact import cc_count
+from repro.sat.kernel import TELEMETRY
 from repro.smt import bv_ult, bv_val, bv_var
 
 BASELINE_PATH = (pathlib.Path(__file__).resolve().parent.parent
@@ -46,6 +51,14 @@ CDM_WIDTH = 6
 CDM_ITERATIONS = 2
 
 
+def _kernel_delta(before: dict, prefix: str) -> dict:
+    """Per-run kernel-counter deltas for one telemetry prefix."""
+    after = TELEMETRY.snapshot()
+    return {key: after.get(f"{prefix}{key}", 0)
+            - before.get(f"{prefix}{key}", 0)
+            for key in ("propagations", "conflicts")}
+
+
 def measure() -> dict:
     results = {}
     bound = (1 << WIDTH) - (1 << (WIDTH - 3))
@@ -53,25 +66,31 @@ def measure() -> dict:
         x = bv_var(f"ci_{family}", WIDTH)
         config = PactConfig(family=family, seed=SEED,
                             iteration_override=ITERATIONS, timeout=300)
+        before = TELEMETRY.snapshot()
         result = pact_count([bv_ult(x, bv_val(bound, WIDTH))], [x],
                             config)
         assert result.solved, f"{family}: smoke instance did not solve"
         results[family] = {"solver_calls": result.solver_calls,
-                           "estimate": result.estimate}
+                           "estimate": result.estimate,
+                           **_kernel_delta(before, "pact.")}
     cdm_bound = (1 << CDM_WIDTH) - (1 << (CDM_WIDTH - 3))
     x = bv_var("ci_cdm", CDM_WIDTH)
+    before = TELEMETRY.snapshot()
     cdm = cdm_count([bv_ult(x, bv_val(cdm_bound, CDM_WIDTH))], [x],
                     seed=SEED, iteration_override=CDM_ITERATIONS,
                     timeout=300)
     assert cdm.solved, "cdm: smoke instance did not solve"
     results["cdm"] = {"solver_calls": cdm.solver_calls,
-                      "estimate": cdm.estimate}
+                      "estimate": cdm.estimate,
+                      **_kernel_delta(before, "cdm.")}
     x = bv_var("ci_exact_cc", WIDTH)
+    before = TELEMETRY.snapshot()
     exact = cc_count([bv_ult(x, bv_val(bound, WIDTH))], [x], timeout=300)
     assert exact.solved, "exact:cc: smoke instance did not solve"
     assert exact.estimate == bound, f"exact:cc: {exact.estimate} != {bound}"
     results["exact:cc"] = {"solver_calls": exact.solver_calls,
-                           "estimate": exact.estimate}
+                           "estimate": exact.estimate,
+                           **_kernel_delta(before, "cc.")}
     return results
 
 
@@ -95,8 +114,18 @@ def main() -> int:
         elif got["solver_calls"] > want["solver_calls"]:
             note = "  REGRESSION (more oracle calls than baseline)"
             failed = True
+        else:
+            # Kernel-counter gates; baselines written before the
+            # columns existed simply skip them.
+            for column in ("propagations", "conflicts"):
+                if column in want and got[column] > want[column]:
+                    note = f"  REGRESSION (more {column} than baseline)"
+                    failed = True
         print(f"{family:14s} solver_calls {got['solver_calls']:5d} "
               f"(baseline {want['solver_calls']:5d})  "
+              f"propagations {got['propagations']:6d} "
+              f"(baseline {want.get('propagations', '-'):>6}) "
+              f"conflicts {got['conflicts']:4d}  "
               f"estimate {got['estimate']}{note}")
     return 1 if failed else 0
 

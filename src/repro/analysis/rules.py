@@ -61,6 +61,7 @@ DETERMINISM_MODULES = (
     "repro/count_exact/signature.py",
     "repro/sat/dimacs.py",
     "repro/sat/kernel.py",
+    "repro/sat/packed.py",
     "repro/compile/memo.py",
     "repro/utils/canonical.py",
     "repro/benchgen/",

@@ -88,7 +88,8 @@ class PactCounter:
             timeout=request.timeout,
             iteration_override=request.iteration_override,
             incremental=request.incremental,
-            simplify=request.simplify)
+            simplify=request.simplify,
+            restart=request.restart)
         result = pact_count(list(problem.assertions),
                             list(problem.projection), config,
                             deadline=deadline, pool=pool,
@@ -111,7 +112,8 @@ class CdmCounter:
             seed=request.seed, timeout=request.timeout,
             iteration_override=request.iteration_override, pool=pool,
             deadline=deadline, incremental=request.incremental,
-            simplify=request.simplify, digest=problem.compile_key)
+            simplify=request.simplify, restart=request.restart,
+            digest=problem.compile_key)
         return CountResponse.from_result(result, counter=self.name,
                                          problem=problem.name)
 

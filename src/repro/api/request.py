@@ -59,7 +59,9 @@ class CountRequest:
     estimates, ``False`` is the A/B baseline mode); ``simplify``
     toggles the compile pipeline's count-preserving CNF simplification
     (:mod:`repro.compile` — never changes estimates either, ``False``
-    is its A/B baseline).
+    is its A/B baseline); ``restart`` picks the SAT kernel's restart
+    policy (``"luby"``/``"glucose"`` — verdict-invariant, so estimates
+    never change).
     """
 
     counter: str = "pact:xor"
@@ -71,6 +73,7 @@ class CountRequest:
     limit: int | None = None
     incremental: bool = True
     simplify: bool = True
+    restart: str = "luby"
 
     def __post_init__(self):
         if self.epsilon <= 0:
@@ -79,6 +82,11 @@ class CountRequest:
             raise CounterError("delta must be in (0, 1)")
         if self.iteration_override is not None and self.iteration_override < 1:
             raise CounterError("iteration_override must be >= 1")
+        from repro.sat.kernel import RESTART_POLICIES
+        if self.restart not in RESTART_POLICIES:
+            raise CounterError(
+                f"unknown restart policy {self.restart!r}; "
+                f"pick from {RESTART_POLICIES}")
 
     def replace(self, **changes) -> "CountRequest":
         return dataclasses.replace(self, **changes)
@@ -94,7 +102,8 @@ class CountRequest:
              "seed": self.seed, "timeout": self.timeout,
              "iterations": self.iteration_override,
              "limit": self.limit},
-            incremental=self.incremental, simplify=self.simplify)
+            incremental=self.incremental, simplify=self.simplify,
+            restart=self.restart)
 
 
 @dataclass(frozen=True)

@@ -84,7 +84,8 @@ def _request(args, counter: str) -> CountRequest:
     return CountRequest(counter=counter, epsilon=args.epsilon,
                         delta=args.delta, seed=args.seed,
                         timeout=args.timeout,
-                        simplify=not getattr(args, "no_simplify", False))
+                        simplify=not getattr(args, "no_simplify", False),
+                        restart=getattr(args, "restart", "luby"))
 
 
 def _print_solved(response) -> None:
@@ -113,9 +114,29 @@ def _cmd_count(args) -> int:
         print(f"c solver_calls {response.solver_calls} "
               f"time {response.time_seconds:.2f}s "
               f"counter {response.counter}")
+        if getattr(args, "stats", False):
+            _print_kernel_stats()
         return 0
     print(f"s {response.status}")
+    if getattr(args, "stats", False):
+        _print_kernel_stats()
     return 1
+
+
+def _print_kernel_stats() -> None:
+    """The merged process-wide kernel telemetry, one counter per line.
+
+    Counters are prefixed by substrate (``pact.``, ``cdm.``, ``cc.``)
+    and cover the whole process — with ``--no-cache`` and a fresh run
+    this is exactly the solve's own kernel work.
+    """
+    from repro.sat.kernel import TELEMETRY
+    snapshot = TELEMETRY.snapshot()
+    if not snapshot:
+        print("c kernel-stats (none: solve served without kernel work)")
+        return
+    for key in sorted(snapshot):
+        print(f"c kernel-stats {key} {snapshot[key]}")
 
 
 def _cmd_portfolio(args) -> int:
@@ -390,6 +411,10 @@ def _add_request_arguments(parser) -> None:
                         help="skip the compile pipeline's "
                              "count-preserving CNF simplification "
                              "(A/B baseline; estimates are identical)")
+    parser.add_argument("--restart", default="luby",
+                        choices=["luby", "glucose"],
+                        help="SAT kernel restart policy (perf knob; "
+                             "estimates are identical)")
 
 
 def _cmd_lint(args) -> int:
@@ -424,6 +449,10 @@ def build_parser() -> argparse.ArgumentParser:
     count.add_argument("--counter", default=None,
                        help="full registry counter name (e.g. exact:cc, "
                             "pact:prime, enum); overrides --family")
+    count.add_argument("--stats", action="store_true",
+                       help="print the merged kernel-telemetry snapshot "
+                            "(decisions, propagations, conflicts, "
+                            "restarts, ...) after the count")
     _add_request_arguments(count)
     _add_engine_arguments(count)
     count.set_defaults(handler=_cmd_count)

@@ -48,7 +48,9 @@ class CompileStats:
     # per-stage effect counters
     units_fixed: int = 0
     literals_substituted: int = 0
+    failed_literals: int = 0
     aux_eliminated: int = 0
+    blocked_clauses: int = 0
     clauses_removed: int = 0
     clauses_added: int = 0
     # projection-support minimisation (analysis stage)
@@ -65,7 +67,9 @@ class CompileStats:
             "raw_clauses": self.raw_clauses, "raw_units": self.raw_units,
             "units_fixed": self.units_fixed,
             "literals_substituted": self.literals_substituted,
+            "failed_literals": self.failed_literals,
             "aux_eliminated": self.aux_eliminated,
+            "blocked_clauses": self.blocked_clauses,
             "clauses_removed": self.clauses_removed,
             "clauses_added": self.clauses_added,
             "support_total": self.support_total,

@@ -18,12 +18,23 @@ simplification on vs off follow from count preservation per stage):
   one of the old by setting the variable to its representative's value,
   and old models restrict to new ones — satisfiability per projection
   assignment, hence the projected count, is unchanged.
+* **failed-literal probing** — assume a literal, propagate; a conflict
+  proves the formula entails its negation, which joins the root
+  assignment.  Entailed units keep the formula *equivalent* (same
+  models), so the projected count is unchanged for any variable,
+  protected or not.
 * **bounded variable elimination** — resolution-based existential
   elimination (NiVER: eliminate only when the resolvent set is no larger
   than the clauses it replaces), restricted to unprotected variables
   with no XOR occurrences.  ``exists v . F`` and the resolvent closure
   have the same models over the remaining variables, so the projected
   count is again unchanged.
+* **blocked-clause elimination** — drop clauses all of whose resolvents
+  on some literal l are tautological, with ``var(l)`` unprotected,
+  unassigned and on no XOR row.  Flipping ``var(l)`` repairs any model
+  of the reduced formula into one of the original without touching the
+  projection bits, so extendability per projection assignment — the
+  projected count — is preserved (full argument in DESIGN.md §5).
 * **projection-support minimisation** — pure analysis: projection bits
   the simplifier proved fixed (units) or aliased to another projection
   bit are dropped from the *reported* support set (``c p show`` lines
@@ -45,7 +56,19 @@ from repro.sat.solver import SatSnapshot
 _BVE_MAX_OCCURRENCES = 10
 _BVE_MAX_PRODUCT = 25
 
-STAGES = ("units", "equiv", "bve", "support")
+# Failed-literal probing bounds: probe at most this many variables
+# (those rooting binary-implication chains, in variable order), with a
+# per-probe and a total propagation-step budget so the stage stays a
+# small fraction of compile time on any input.
+_PROBE_MAX_VARS = 128
+_PROBE_STEP_BUDGET = 2_000
+_PROBE_TOTAL_BUDGET = 100_000
+
+# Blocked-clause elimination bound: checking blockedness on literal l
+# resolves against every clause containing -l, so skip heavy literals.
+_BCE_MAX_OCCURRENCES = 20
+
+STAGES = ("units", "equiv", "probe", "bve", "bce", "support")
 
 
 class CnfState:
@@ -324,7 +347,143 @@ def substitute_equivalents(state: CnfState, stats=None) -> None:
 
 
 # ----------------------------------------------------------------------
-# stage 3: bounded variable elimination (NiVER)
+# stage 3: failed-literal probing
+# ----------------------------------------------------------------------
+def _probe_bcp(state: CnfState, occ, xocc, lit: int,
+               budget: int) -> tuple[bool | None, int]:
+    """BCP under the assumption ``lit`` on top of the root assignment.
+
+    Returns ``(verdict, steps)``: verdict False when the assumption
+    propagates to a conflict (the literal *failed*), True when a
+    conflict-free fixpoint was reached, None when the step budget ran
+    out (inconclusive — the probe is abandoned, never acted on).
+    """
+    overlay: dict[int, bool] = {abs(lit): lit > 0}
+    queue = [abs(lit)]
+    steps = 0
+
+    def lit_value(q: int) -> bool | None:
+        value = overlay.get(abs(q))
+        if value is None:
+            value = state.assign.get(abs(q))
+        if value is None:
+            return None
+        return value if q > 0 else not value
+
+    while queue:
+        var = queue.pop()
+        steps += 1
+        if steps > budget:
+            return None, steps
+        for cid in occ.get(var, ()):
+            unit = 0
+            open_count = 0
+            satisfied = False
+            for q in state.clauses[cid]:
+                value = lit_value(q)
+                if value is True:
+                    satisfied = True
+                    break
+                if value is None:
+                    open_count += 1
+                    if open_count > 1:
+                        break
+                    unit = q
+            if satisfied or open_count > 1:
+                continue
+            if open_count == 0:
+                return False, steps
+            overlay[abs(unit)] = unit > 0
+            queue.append(abs(unit))
+        for xid in xocc.get(var, ()):
+            variables, rhs = state.xors[xid]
+            parity = rhs
+            open_var = 0
+            open_count = 0
+            for v in variables:
+                value = lit_value(v)
+                if value is None:
+                    open_count += 1
+                    if open_count > 1:
+                        break
+                    open_var = v
+                elif value:
+                    parity = not parity
+            if open_count > 1:
+                continue
+            if open_count == 0:
+                if parity:
+                    return False, steps
+                continue
+            overlay[open_var] = bool(parity)
+            queue.append(open_var)
+    return True, steps
+
+
+def probe_failed_literals(state: CnfState, stats=None) -> None:
+    """Assert the negation of every literal whose assumption fails.
+
+    For each candidate literal l, assume it and propagate: if BCP
+    derives a conflict then F entails -l, so asserting -l yields an
+    *equivalent* formula (same models, hence the same projected count —
+    no protection check is needed; entailed units are sound for any
+    variable, frozen or not).  Candidates are the variables rooting
+    binary-implication chains (those occurring in binary clauses or
+    size-2 XOR rows), probed in both polarities in variable order so
+    the stage is deterministic.
+    """
+    if not state.ok:
+        return
+    propagate_units(state, stats)
+    if not state.ok:
+        return
+    occ: dict[int, list[int]] = {}
+    for cid, clause in enumerate(state.clauses):
+        for lit in clause:
+            occ.setdefault(abs(lit), []).append(cid)
+    xocc: dict[int, list[int]] = {}
+    binary_vars: set[int] = set()
+    for xid, (variables, _) in enumerate(state.xors):
+        for var in variables:
+            xocc.setdefault(var, []).append(xid)
+        if len(variables) == 2:
+            binary_vars |= variables
+    for clause in state.clauses:
+        if len(clause) == 2:
+            binary_vars.update(abs(lit) for lit in clause)
+
+    candidates = sorted(binary_vars)[:_PROBE_MAX_VARS]
+    remaining = _PROBE_TOTAL_BUDGET
+    failed = 0
+    for var in candidates:
+        if remaining <= 0:
+            break
+        if var in state.assign:
+            continue
+        for lit in (var, -var):
+            if var in state.assign:
+                break  # the first polarity failed and was asserted
+            verdict, steps = _probe_bcp(
+                state, occ, xocc, lit,
+                min(_PROBE_STEP_BUDGET, remaining))
+            remaining -= steps
+            if verdict is False:
+                failed += 1
+                if not state._assign_lit(-lit):
+                    state.ok = False
+                    return
+            if remaining <= 0:
+                break
+    if stats is not None:
+        stats.failed_literals += failed
+    if failed:
+        # the new units shrink clauses and XOR rows; occurrence lists
+        # above were only read against the pre-probe clause list
+        propagate_units(state, stats)
+
+
+# ----------------------------------------------------------------------
+# stage 4: bounded variable elimination (NiVER)
 # ----------------------------------------------------------------------
 def eliminate_auxiliaries(state: CnfState, stats=None) -> None:
     """Resolution-eliminate cheap Tseitin auxiliaries.
@@ -418,7 +577,75 @@ def eliminate_auxiliaries(state: CnfState, stats=None) -> None:
 
 
 # ----------------------------------------------------------------------
-# stage 4: projection-support minimisation (analysis only)
+# stage 5: blocked-clause elimination
+# ----------------------------------------------------------------------
+def eliminate_blocked_clauses(state: CnfState, stats=None) -> None:
+    """Remove clauses blocked on an unprotected, XOR-free literal.
+
+    A clause C is *blocked* on its literal l when every resolvent of C
+    with a clause containing -l is tautological (Kullmann 1999).
+    Removing C preserves the projected count when ``var(l)`` is
+    unprotected, unassigned and on no XOR row: any model of F \\ {C}
+    falsifying C is repaired by flipping ``var(l)`` — the flip
+    satisfies C and every clause containing l, keeps every clause
+    containing -l satisfied (by the tautology condition each such
+    clause holds another literal true in the flipped model), and
+    touches neither the projection bits nor any parity row.  Per
+    projection assignment, extendability is therefore unchanged in both
+    directions (F ⊆ F \\ {C} gives the converse), which is exactly
+    projected-count preservation.  Removal order does not matter: BCE
+    is confluent, so the fixpoint is well-defined.
+    """
+    if not state.ok:
+        return
+    xor_vars: set[int] = set()
+    for variables, _ in state.xors:
+        xor_vars |= variables
+
+    clauses: dict[int, list[int]] = dict(enumerate(state.clauses))
+    occ: dict[int, set[int]] = {}
+    for cid, clause in clauses.items():
+        for lit in clause:
+            occ.setdefault(lit, set()).add(cid)
+
+    removed = 0
+    changed = True
+    while changed:
+        changed = False
+        for cid in sorted(clauses):
+            clause = clauses[cid]
+            others = set(clause)
+            for lit in clause:
+                var = abs(lit)
+                if (var in state.frozen or var in xor_vars
+                        or var in state.assign):
+                    continue
+                partners = occ.get(-lit, ())
+                if len(partners) > _BCE_MAX_OCCURRENCES:
+                    continue
+                blocked = True
+                for did in partners:
+                    resolvent_taut = any(
+                        m != -lit and -m in others
+                        for m in clauses[did])
+                    if not resolvent_taut:
+                        blocked = False
+                        break
+                if blocked:
+                    for m in clause:
+                        occ[m].discard(cid)
+                    del clauses[cid]
+                    removed += 1
+                    changed = True
+                    break
+
+    state.clauses = [clauses[cid] for cid in sorted(clauses)]
+    if stats is not None:
+        stats.blocked_clauses += removed
+
+
+# ----------------------------------------------------------------------
+# stage 6: projection-support minimisation (analysis only)
 # ----------------------------------------------------------------------
 def minimise_support(state: CnfState, flat_bits: list[int],
                      stats=None) -> tuple[int, ...]:
@@ -479,8 +706,12 @@ def run_stages(snap: SatSnapshot, frozen: set[int],
             propagate_units(state, stats)
         elif stage == "equiv":
             substitute_equivalents(state, stats)
+        elif stage == "probe":
+            probe_failed_literals(state, stats)
         elif stage == "bve":
             eliminate_auxiliaries(state, stats)
+        elif stage == "bce":
+            eliminate_blocked_clauses(state, stats)
         elif stage == "support":
             support = minimise_support(state, flat_bits, stats)
     return state.to_snapshot(), support

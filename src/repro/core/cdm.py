@@ -196,6 +196,7 @@ def cdm_count(assertions, projection: list[Term], epsilon: float = 0.8,
               pool=None, deadline: Deadline | None = None,
               incremental: bool = True,
               simplify: bool = True,
+              restart: str = "luby",
               digest: str | None = None) -> CountResult:
     """Approximate projected counting with the CDM construction.
 
@@ -208,6 +209,8 @@ def cdm_count(assertions, projection: list[Term], epsilon: float = 0.8,
     estimates).  ``simplify`` toggles the compile pipeline's
     count-preserving CNF simplification over the composed formula
     (never changes estimates either; the A/B baseline mode).
+    ``restart`` picks the SAT kernel's restart policy (never changes
+    estimates: schedules don't affect verdicts).
     """
     if isinstance(assertions, Term):
         assertions = [assertions]
@@ -240,6 +243,7 @@ def cdm_count(assertions, projection: list[Term], epsilon: float = 0.8,
             assertions, projection, copies, simplify=simplify,
             digest=digest)
         solver.set_retention(incremental)
+        solver.set_restart_policy(restart)
 
         initial = saturating_count(solver, flat_projection, _PIVOT,
                                    deadline, calls)
@@ -256,7 +260,8 @@ def cdm_count(assertions, projection: list[Term], epsilon: float = 0.8,
                 delta=delta, family="cdm", seed=seed,
                 num_iterations=iterations, deadline=deadline,
                 calls=calls, estimates=estimates,
-                incremental=incremental, simplify=simplify)
+                incremental=incremental, simplify=simplify,
+                restart=restart)
             if status is not None:
                 return finish(None, status=status)
         else:

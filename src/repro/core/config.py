@@ -29,6 +29,11 @@ class PactConfig:
     simplification (:mod:`repro.compile`).  Every stage preserves the
     projected model count, so estimates are bit-identical either way;
     ``False`` is the A/B baseline mode.
+
+    ``restart`` picks the SAT kernel's restart policy (``"luby"`` or
+    ``"glucose"``, :data:`repro.sat.kernel.RESTART_POLICIES`).  Restart
+    schedules never affect verdicts, so estimates are bit-identical
+    under either; the knob exists for performance A/B runs.
     """
 
     epsilon: float = 0.8
@@ -39,6 +44,7 @@ class PactConfig:
     iteration_override: int | None = None
     incremental: bool = True
     simplify: bool = True
+    restart: str = "luby"
 
     def __post_init__(self):
         if self.epsilon <= 0:
@@ -50,3 +56,8 @@ class PactConfig:
                 f"unknown hash family {self.family!r}; pick from {FAMILIES}")
         if self.iteration_override is not None and self.iteration_override < 1:
             raise CounterError("iteration_override must be >= 1")
+        from repro.sat.kernel import RESTART_POLICIES
+        if self.restart not in RESTART_POLICIES:
+            raise CounterError(
+                f"unknown restart policy {self.restart!r}; "
+                f"pick from {RESTART_POLICIES}")

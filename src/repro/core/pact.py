@@ -214,6 +214,7 @@ def pact_count(assertions: list[Term], projection: list[Term],
                                          simplify=config.simplify,
                                          digest=digest)
         solver.set_retention(config.incremental)
+        solver.set_restart_policy(config.restart)
 
         # Line 3-4: if the whole projected space is small, count exactly.
         initial = saturating_count(solver, projection, thresh, deadline,
@@ -232,7 +233,8 @@ def pact_count(assertions: list[Term], projection: list[Term],
                 num_iterations=num_iterations, deadline=deadline,
                 calls=calls, estimates=estimates,
                 incremental=config.incremental,
-                simplify=config.simplify)
+                simplify=config.simplify,
+                restart=config.restart)
             if status is not None:
                 return finish(None, status=status)
         else:
@@ -303,7 +305,8 @@ def count_projected(assertions, projection, epsilon: float = 0.8,
                     seed: int = 1, timeout: float | None = None,
                     iteration_override: int | None = None,
                     pool=None, incremental: bool = True,
-                    simplify: bool = True) -> CountResult:
+                    simplify: bool = True,
+                    restart: str = "luby") -> CountResult:
     """The convenience front door: count with (epsilon, delta) guarantees.
 
     See :class:`repro.core.config.PactConfig` for parameter semantics;
@@ -314,6 +317,7 @@ def count_projected(assertions, projection, epsilon: float = 0.8,
     config = PactConfig(epsilon=epsilon, delta=delta, family=family,
                         seed=seed, timeout=timeout,
                         iteration_override=iteration_override,
-                        incremental=incremental, simplify=simplify)
+                        incremental=incremental, simplify=simplify,
+                        restart=restart)
     return pact_count(list(assertions), list(projection), config,
                       pool=pool)

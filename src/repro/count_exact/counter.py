@@ -91,7 +91,7 @@ class CcStats:
                  "sat_checks", "free_bits", "closure_atoms",
                  "closure_checks", "closure_clauses", "conflicts",
                  "learned", "learnt_evicted", "purged", "shared_units",
-                 "shared_clauses")
+                 "shared_clauses", "propagations")
 
     def __init__(self):
         self.decisions = 0
@@ -109,6 +109,7 @@ class CcStats:
         self.purged = 0
         self.shared_units = 0
         self.shared_clauses = 0
+        self.propagations = 0
 
     def as_detail(self) -> str:
         """The compact stats string persisted with the result (the
@@ -367,6 +368,7 @@ def _merge_driver_stats(stats: CcStats, driver) -> None:
     stats.conflicts = counters["conflicts"]
     stats.learned = counters["learned"]
     stats.learnt_evicted = counters["learnt_evicted"]
+    stats.propagations = counters["propagations"]
     counters["decisions"] = stats.decisions
     TELEMETRY.merge(counters, prefix="cc.")
 

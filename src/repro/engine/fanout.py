@@ -54,7 +54,9 @@ class IterationSpec:
     ``incremental`` mirrors :class:`repro.core.config.PactConfig` — when
     False, workers skip warm-start chains and learnt retention (the A/B
     baseline mode); ``simplify`` selects the compile pipeline's
-    count-preserving simplification (off = the A/B baseline).
+    count-preserving simplification (off = the A/B baseline);
+    ``restart`` the SAT kernel's restart policy (verdict-invariant,
+    hence estimate-invariant).
     ``digest`` is the script's artifact digest, computed once by
     :func:`make_spec` and shipped with the spec: workers key the
     per-process compile memo (and the parse memo) on it directly, so
@@ -70,6 +72,7 @@ class IterationSpec:
     seed: int
     incremental: bool = True
     simplify: bool = True
+    restart: str = "luby"
     digest: str = ""
 
     def artifact_digest(self) -> str:
@@ -126,7 +129,8 @@ def preseed_parse_memo(script: str, assertions, projection) -> None:
 def make_spec(algorithm: str, assertions, projection, *, epsilon: float,
               delta: float, family: str, seed: int,
               incremental: bool = True,
-              simplify: bool = True) -> IterationSpec:
+              simplify: bool = True,
+              restart: str = "luby") -> IterationSpec:
     """Build a spec from in-memory terms, pre-seeding the parse memo so
     in-process workers reuse the original term objects.  The artifact
     digest is computed here, once, and travels with the spec."""
@@ -136,7 +140,8 @@ def make_spec(algorithm: str, assertions, projection, *, epsilon: float,
     return IterationSpec(algorithm=algorithm, script=script,
                          epsilon=epsilon, delta=delta, family=family,
                          seed=seed, incremental=incremental,
-                         simplify=simplify, digest=_digest(script))
+                         simplify=simplify, restart=restart,
+                         digest=_digest(script))
 
 
 def iteration_tasks(algorithm: str, assertions, projection, *,
@@ -144,7 +149,8 @@ def iteration_tasks(algorithm: str, assertions, projection, *,
                     num_iterations: int,
                     deadline_at: float | None = None,
                     incremental: bool = True,
-                    simplify: bool = True) -> list[Task]:
+                    simplify: bool = True,
+                    restart: str = "luby") -> list[Task]:
     """One :class:`Task` per iteration, keyed by iteration index.
 
     ``deadline_at`` is the run's absolute monotonic deadline: the whole
@@ -153,7 +159,8 @@ def iteration_tasks(algorithm: str, assertions, projection, *,
     """
     spec = make_spec(algorithm, assertions, projection, epsilon=epsilon,
                      delta=delta, family=family, seed=seed,
-                     incremental=incremental, simplify=simplify)
+                     incremental=incremental, simplify=simplify,
+                     restart=restart)
     return [Task(key=index, fn=_iteration_task, args=(spec, index),
                  deadline_at=deadline_at)
             for index in range(num_iterations)]
@@ -164,7 +171,8 @@ def fan_out_iterations(pool, algorithm: str, assertions, projection, *,
                        seed: int, num_iterations: int, deadline, calls,
                        estimates: list,
                        incremental: bool = True,
-                       simplify: bool = True) -> str | None:
+                       simplify: bool = True,
+                       restart: str = "luby") -> str | None:
     """Run a counter's iterations across ``pool``, filling ``estimates``
     in iteration order and aggregating oracle calls into ``calls``.
 
@@ -179,7 +187,7 @@ def fan_out_iterations(pool, algorithm: str, assertions, projection, *,
         algorithm, assertions, projection, epsilon=epsilon, delta=delta,
         family=family, seed=seed, num_iterations=num_iterations,
         deadline_at=deadline_at, incremental=incremental,
-        simplify=simplify)
+        simplify=simplify, restart=restart)
     status = None
     for result in pool.run(tasks):
         if result.ok:
@@ -240,13 +248,15 @@ def _pact_iteration(assertions, projection, spec, deadline, calls,
     config = PactConfig(epsilon=spec.epsilon, delta=spec.delta,
                         family=spec.family, seed=spec.seed,
                         incremental=spec.incremental,
-                        simplify=spec.simplify)
+                        simplify=spec.simplify,
+                        restart=spec.restart)
     thresh, _, slice_width = get_constants(
         config.epsilon, config.delta, config.family)
     solver, flat_bits = build_solver(assertions, projection,
                                      simplify=config.simplify,
                                      digest=spec.artifact_digest())
     solver.set_retention(config.incremental)
+    solver.set_restart_policy(config.restart)
     max_index = max_hash_index(projection, config.family, slice_width)
     key = _warm_key(spec)
     warm = _warm_starts.get(key, 1) if config.incremental else 1
@@ -270,6 +280,7 @@ def _cdm_iteration(assertions, projection, spec, deadline, calls,
         assertions, projection, copies, simplify=spec.simplify,
         digest=spec.artifact_digest())
     solver.set_retention(spec.incremental)
+    solver.set_restart_policy(spec.restart)
     max_index = total_bits(flat_projection)
     key = _warm_key(spec)
     warm = _warm_starts.get(key, 1) if spec.incremental else 1

@@ -20,10 +20,10 @@ This module folds both into one kernel with pluggable *search drivers*:
   conflict analysis with clause minimisation, push/pop frames with safe
   learnt-clause retention, snapshot/clone seeding.
 * **:class:`CdclDriver`** — the CDCL search policy (VSIDS decisions,
-  Luby restarts, activity-based DB reduction) over the kernel.
+  Luby or Glucose-EMA restarts, LBD- or activity-ranked DB reduction
+  with glue protection) over the kernel's blocking-literal watchers.
   ``repro.sat.solver.SatSolver`` *is* this driver; its public API is
-  unchanged and its behaviour is bit-identical to the pre-kernel
-  solver.
+  unchanged and every policy combination returns the same verdicts.
 * **:class:`ComponentDriver`** — the component-splitting DPLL driver
   used by ``exact:cc``: kernel BCP over the occurrence index with
   reason tracking, *in-component conflict learning* (conflicts resolve
@@ -64,13 +64,27 @@ from repro.utils.luby import luby
 
 __all__ = [
     "ClauseDB", "CdclDriver", "Component", "ComponentDriver",
-    "KernelTelemetry", "PropagationKernel", "SatSnapshot", "TELEMETRY",
+    "GLUE_LBD", "KernelTelemetry", "PropagationKernel",
+    "RESTART_POLICIES", "SatSnapshot", "TELEMETRY",
     "FALSE_V", "TRUE_V", "UNSET_V", "build_driver", "presolve_lemmas",
 ]
 
 _RESTART_BASE = 128
 _ACTIVITY_RESCALE = 1e100
 _DEADLINE_CHECK_INTERVAL = 64  # conflicts between deadline polls
+
+#: Learnt clauses at or below this LBD ("glue" clauses, Audemard &
+#: Simon 2009) are never deleted by the LBD reduction policy.
+GLUE_LBD = 2
+#: Selectable restart policies (:attr:`PropagationKernel.restart_policy`).
+RESTART_POLICIES = ("luby", "glucose")
+# Glucose-EMA adaptive restarts: restart once the fast LBD average
+# exceeds the slow one by the margin, but never before the minimum
+# conflict count (each restart must buy at least that much new work).
+_GLUCOSE_MIN_CONFLICTS = 50
+_GLUCOSE_FAST_WEIGHT = 1.0 / 32.0
+_GLUCOSE_SLOW_WEIGHT = 1.0 / 4096.0
+_GLUCOSE_MARGIN = 1.25
 
 TRUE_V = 1
 FALSE_V = -1
@@ -451,7 +465,7 @@ class ComponentDriver:
     __slots__ = ("db", "values", "trail", "learn", "max_learnts",
                  "learnts", "_learnt_set", "_reason", "_is_decision",
                  "root_conflict", "conflicts", "learned",
-                 "learnt_evicted")
+                 "learnt_evicted", "propagations")
 
     def __init__(self, db: ClauseDB, *, learn: bool = True,
                  max_learnts: int = 512):
@@ -471,6 +485,7 @@ class ComponentDriver:
         self.conflicts = 0
         self.learned = 0
         self.learnt_evicted = 0
+        self.propagations = 0
 
     # ------------------------------------------------------------------
     # assignment
@@ -522,6 +537,7 @@ class ComponentDriver:
             while head < len(trail):
                 var = trail[head]
                 head += 1
+                self.propagations += 1
                 for cid in occ[var]:
                     if cid < num_clauses:
                         unit = 0
@@ -738,7 +754,8 @@ class ComponentDriver:
     def stats(self) -> dict[str, int]:
         """The driver's learning counters (for telemetry merges)."""
         return {"conflicts": self.conflicts, "learned": self.learned,
-                "learnt_evicted": self.learnt_evicted}
+                "learnt_evicted": self.learnt_evicted,
+                "propagations": self.propagations}
 
 
 # ======================================================================
@@ -782,7 +799,22 @@ class PropagationKernel:
         # only while the variable is root-assigned; popping that frame
         # unassigns it via the trail mark).
         self._assign_frame: list[int] = [0]
-        self._watches: list[list[Clause]] = []
+        # Watcher lists hold [blocker, clause] pairs (MiniSat-style
+        # blocking literals); the blocker is stored as a *literal
+        # index* (``lit_index``) into ``_lit_vals``, always of a
+        # literal of the clause, refreshed opportunistically during
+        # propagation.  With ``use_blockers`` False the lists hold
+        # bare clauses instead — the verbatim pre-overhaul
+        # representation, kept as the honest A/B baseline — so the
+        # flag must not change once any clause has been watched.
+        self._watches: list[list] = []
+        # Signed assignment view indexed by lit_index: the value of
+        # each *literal* (TRUE / FALSE / UNASSIGNED).  Redundant with
+        # ``_assigns`` but turns every truth test in the watcher hot
+        # loop into one list index + one compare; maintained by
+        # ``_enqueue`` / ``_unassign`` (assignments are far rarer than
+        # watcher visits).
+        self._lit_vals: list[int] = []
         self._clauses: list[Clause] = []
         self._learnts: list[Clause] = []
         self._trail: list[int] = []
@@ -797,6 +829,17 @@ class PropagationKernel:
         self._ok = True
         self._max_learnts = 4000.0
         self.retain_learnts = True
+        # Search-policy switches (threaded from PactConfig; the legacy
+        # values reproduce the pre-overhaul kernel for A/B benching).
+        # ``use_blockers`` selects the watcher representation and must
+        # be set before clauses are added.
+        self.restart_policy = "luby"
+        self.reduce_policy = "lbd"
+        self.use_blockers = True
+        # Glucose-EMA restart state: exponential moving averages of
+        # learnt-clause LBD (reset on solve(), not on restart).
+        self._lbd_fast = 0.0
+        self._lbd_slow = 0.0
         # Bitmask views of the assignment, consumed by the XOR engine.
         self.assigned_mask = 0
         self.true_mask = 0
@@ -821,6 +864,8 @@ class PropagationKernel:
         self._assign_frame.append(0)
         self._watches.append([])
         self._watches.append([])
+        self._lit_vals.append(UNASSIGNED)
+        self._lit_vals.append(UNASSIGNED)
         var = len(self._assigns) - 1
         heapq.heappush(self._order_heap, (0.0, var))
         return var
@@ -898,8 +943,35 @@ class PropagationKernel:
         return self._propagate_root()
 
     def _watch_clause(self, clause: Clause) -> None:
-        self._watches[lit_index(clause.lits[0])].append(clause)
-        self._watches[lit_index(clause.lits[1])].append(clause)
+        lits = clause.lits
+        if self.use_blockers:
+            self._watches[lit_index(lits[0])].append(
+                [lit_index(lits[1]), clause])
+            self._watches[lit_index(lits[1])].append(
+                [lit_index(lits[0]), clause])
+        else:
+            self._watches[lit_index(lits[0])].append(clause)
+            self._watches[lit_index(lits[1])].append(clause)
+
+    def _detach_deleted(self) -> None:
+        """Scrub watchers of deleted clauses from every watch list.
+
+        Called from the rare deletion sites (:meth:`pop`,
+        ``_reduce_db``) so the blocking hot loop never pays a per-visit
+        ``clause.deleted`` check, and so no watcher pair survives whose
+        blocker index refers to a variable a frame dropped.
+        """
+        watches = self._watches
+        if self.use_blockers:
+            for idx, watchers in enumerate(watches):
+                if any(w[1].deleted for w in watchers):
+                    watches[idx] = [w for w in watchers
+                                    if not w[1].deleted]
+        else:
+            for idx, watchers in enumerate(watches):
+                if any(c.deleted for c in watchers):
+                    watches[idx] = [c for c in watchers
+                                    if not c.deleted]
 
     def _propagate_root(self) -> bool:
         conflict = self._propagate()
@@ -940,6 +1012,7 @@ class PropagationKernel:
         self._qhead = min(self._qhead, frame.trail_len)
         # Remove clauses added inside the frame; retain the learnts whose
         # derivation never touched it.
+        dropped_any = len(self._clauses) > frame.num_clauses
         for clause in self._clauses[frame.num_clauses:]:
             clause.deleted = True
         del self._clauses[frame.num_clauses:]
@@ -955,6 +1028,7 @@ class PropagationKernel:
                 self.stats["retained_learnts"] += 1
             else:
                 clause.deleted = True
+                dropped_any = True
         self.xor.truncate(frame.xor_mark)
         # Drop frame-local variables.
         if self.num_vars() > frame.num_vars:
@@ -965,6 +1039,9 @@ class PropagationKernel:
             del self._phase[frame.num_vars + 1:]
             del self._assign_frame[frame.num_vars + 1:]
             del self._watches[2 * frame.num_vars:]
+            del self._lit_vals[2 * frame.num_vars:]
+        if dropped_any:
+            self._detach_deleted()
         self._ok = frame.ok
 
     @property
@@ -1049,6 +1126,14 @@ class PropagationKernel:
             # clause whose analysis skipped this variable.
             self._assign_frame[var] = len(self._frames)
         self._trail.append(lit)
+        lit_vals = self._lit_vals
+        idx = 2 * (var - 1)
+        if lit > 0:
+            lit_vals[idx] = TRUE
+            lit_vals[idx + 1] = FALSE
+        else:
+            lit_vals[idx] = FALSE
+            lit_vals[idx + 1] = TRUE
         bit = 1 << var
         self.assigned_mask |= bit
         if value == TRUE:
@@ -1067,6 +1152,9 @@ class PropagationKernel:
         self._phase[var] = self._assigns[var] == TRUE
         self._assigns[var] = UNASSIGNED
         self._reason[var] = None
+        idx = 2 * (var - 1)
+        self._lit_vals[idx] = UNASSIGNED
+        self._lit_vals[idx + 1] = UNASSIGNED
         bit = 1 << var
         self.assigned_mask &= ~bit
         self.true_mask &= ~bit
@@ -1089,23 +1177,126 @@ class PropagationKernel:
     # propagation
     # ------------------------------------------------------------------
     def _propagate(self) -> Clause | None:
-        """Propagate queued assignments; return a conflict clause or None."""
-        while self._qhead < len(self._trail):
-            lit = self._trail[self._qhead]
+        """Propagate queued assignments; return a conflict clause or None.
+
+        The loop is deliberately lean: the watcher-loop dispatch is
+        bound once, the propagation counter is accumulated locally and
+        flushed on exit, and the XOR hook is skipped entirely when no
+        rows exist (``on_assign`` would be a no-op dict probe per
+        assignment otherwise).
+        """
+        trail = self._trail
+        propagate_clauses = (self._propagate_blocking if self.use_blockers
+                             else self._propagate_plain)
+        xor = self.xor
+        xor_active = bool(xor.rows)
+        conflict = None
+        count = 0
+        while self._qhead < len(trail):
+            lit = trail[self._qhead]
             self._qhead += 1
-            self.stats["propagations"] += 1
-            conflict = self._propagate_clauses(-lit)
+            count += 1
+            conflict = propagate_clauses(-lit)
             if conflict is not None:
-                return conflict
-            conflict = self.xor.on_assign(lit if lit > 0 else -lit)
-            if conflict is not None:
-                return conflict
-        return None
+                break
+            if xor_active:
+                conflict = xor.on_assign(lit if lit > 0 else -lit)
+                if conflict is not None:
+                    break
+        self.stats["propagations"] += count
+        return conflict
 
     def _propagate_clauses(self, false_lit: int) -> Clause | None:
-        """Visit clauses watching ``false_lit`` (which just became false)."""
-        widx = lit_index(false_lit)
-        watchers = self._watches[widx]
+        """Visit clauses watching ``false_lit`` (which just became false).
+
+        Dispatches on ``use_blockers``: the blocking-literal loop over
+        ``[blocker, clause]`` watcher pairs, or the verbatim
+        pre-overhaul loop over bare clauses (the A/B baseline the
+        kernel bench measures against).  Both reach the same
+        propagation fixpoint, so SAT verdicts — and all counts and
+        estimates, which are functions of the verdicts alone — are
+        bit-identical between them.
+        """
+        if self.use_blockers:
+            return self._propagate_blocking(false_lit)
+        return self._propagate_plain(false_lit)
+
+    def _propagate_blocking(self, false_lit: int) -> Clause | None:
+        """The blocking-literal watcher loop.
+
+        Each watcher is a ``[blocker_index, clause]`` pair: the cached
+        blocking literal is stored pre-translated through ``lit_index``
+        so the skip test is one ``_lit_vals`` load and one compare —
+        when it reads TRUE the clause is satisfied and is skipped
+        without touching its literal list.  The skip only fires on
+        satisfied clauses, so it never suppresses a unit enqueue or a
+        conflict.  There is no per-visit deleted check: the deletion
+        sites eagerly scrub watch lists (``_detach_deleted``), which
+        also guarantees every surviving blocker index is in range.
+        """
+        watches = self._watches
+        watchers = watches[lit_index(false_lit)]
+        lit_vals = self._lit_vals
+        true_v, false_v = TRUE, FALSE
+        kept = 0
+        i = 0
+        n = len(watchers)
+        conflict = None
+        while i < n:
+            watcher = watchers[i]
+            i += 1
+            if lit_vals[watcher[0]] == true_v:
+                watchers[kept] = watcher
+                kept += 1
+                continue
+            clause = watcher[1]
+            lits = clause.lits
+            if lits[0] == false_lit:
+                lits[0] = lits[1]
+                lits[1] = false_lit
+            first = lits[0]
+            first_idx = 2 * (first - 1) if first > 0 else -2 * first - 1
+            fv = lit_vals[first_idx]
+            if fv == true_v:
+                watcher[0] = first_idx  # cache the satisfying literal
+                watchers[kept] = watcher
+                kept += 1
+                continue
+            moved = False
+            for k in range(2, len(lits)):
+                lk = lits[k]
+                kidx = 2 * (lk - 1) if lk > 0 else -2 * lk - 1
+                if lit_vals[kidx] != false_v:  # true or unassigned
+                    lits[1] = lk
+                    lits[k] = false_lit
+                    watcher[0] = first_idx
+                    watches[kidx].append(watcher)
+                    moved = True
+                    break
+            if moved:
+                continue
+            watchers[kept] = watcher
+            kept += 1
+            if fv == false_v:  # first is false: conflict
+                conflict = clause
+                while i < n:  # keep the remaining watchers
+                    watchers[kept] = watchers[i]
+                    kept += 1
+                    i += 1
+                break
+            self._enqueue(first, clause)
+        del watchers[kept:]
+        return conflict
+
+    def _propagate_plain(self, false_lit: int) -> Clause | None:
+        """The pre-overhaul watcher loop over bare clauses, unchanged.
+
+        Kept as the honest baseline for the kernel bench's A/B rows
+        (``benchmarks/test_bench_kernel.py``) and the differential
+        tests: representation and visit order are exactly the legacy
+        kernel's, not the blocking loop with the skip disabled.
+        """
+        watchers = self._watches[lit_index(false_lit)]
         assigns = self._assigns
         kept = 0
         i = 0
@@ -1314,12 +1505,15 @@ class PropagationKernel:
 
 
 class CdclDriver(PropagationKernel):
-    """The CDCL search driver: VSIDS decisions, Luby restarts and
-    activity-based learnt-DB reduction over the propagation kernel.
+    """The CDCL search driver: VSIDS decisions, Luby or Glucose-EMA
+    restarts (``restart_policy``) and LBD- or activity-ranked learnt-DB
+    reduction (``reduce_policy``) over the propagation kernel.
 
     ``repro.sat.solver.SatSolver`` subclasses this unchanged — the
-    public ``solve``/``push``/``pop``/``snapshot`` surface and its
-    behaviour are exactly the pre-kernel solver's.
+    public ``solve``/``push``/``pop``/``snapshot`` surface is exactly
+    the pre-kernel solver's.  Every policy combination returns the same
+    verdicts (restart and reduction schedules never affect soundness or
+    completeness), so counts and estimates are invariant under them.
     """
 
     # ------------------------------------------------------------------
@@ -1342,22 +1536,40 @@ class CdclDriver(PropagationKernel):
     # learnt clause DB reduction
     # ------------------------------------------------------------------
     def _reduce_db(self) -> None:
-        # Frames pin their learnts: only reduce clauses of the current frame
-        # tail, so pop() bookkeeping (index-based) stays valid.
+        """Delete up to half of the current frame's learnt-clause tail.
+
+        ``reduce_policy == "lbd"`` ranks victims by Literal Block
+        Distance (highest first, activity as tiebreak) and never
+        deletes glue clauses (``lbd <= GLUE_LBD``) or clauses with
+        unknown LBD (``lbd == 0``); ``"activity"`` is the pre-overhaul
+        lowest-activity-first policy.  Both policies always keep
+        binaries, reason clauses of trail literals, and — because only
+        the tail past the innermost frame mark is considered —
+        frame-pinned learnts, so pop() bookkeeping (index-based) stays
+        valid.
+        """
         start = self._frames[-1].num_learnts if self._frames else 0
         tail = [c for c in self._learnts[start:] if not c.deleted]
         if len(tail) < 64:
             return
-        tail.sort(key=lambda c: c.activity)
         locked = {
             id(self._reason[abs(lit)])
             for lit in self._trail
             if isinstance(self._reason[abs(lit)], Clause)
         }
-        to_delete = set()
-        for clause in tail[:len(tail) // 2]:
-            if len(clause.lits) > 2 and id(clause) not in locked:
-                to_delete.add(id(clause))
+        limit = len(tail) // 2
+        if self.reduce_policy == "lbd":
+            victims = [c for c in tail
+                       if len(c.lits) > 2 and c.lbd > GLUE_LBD
+                       and id(c) not in locked]
+            victims.sort(key=lambda c: (-c.lbd, c.activity))
+            to_delete = {id(c) for c in victims[:limit]}
+        else:
+            tail.sort(key=lambda c: c.activity)
+            to_delete = set()
+            for clause in tail[:limit]:
+                if len(clause.lits) > 2 and id(clause) not in locked:
+                    to_delete.add(id(clause))
         if not to_delete:
             return
         for clause in self._learnts[start:]:
@@ -1366,6 +1578,7 @@ class CdclDriver(PropagationKernel):
         self._learnts[start:] = [
             c for c in self._learnts[start:] if not c.deleted
         ]
+        self._detach_deleted()
 
     # ------------------------------------------------------------------
     # main search
@@ -1395,9 +1608,15 @@ class CdclDriver(PropagationKernel):
             return False
         conflicts_total = 0
         restart_count = 0
+        glucose = self.restart_policy == "glucose"
+        self._lbd_fast = 0.0
+        self._lbd_slow = 0.0
         while True:
             restart_count += 1
-            budget = _RESTART_BASE * luby(restart_count)
+            # Glucose mode restarts on the EMA condition inside
+            # _search (budget None); Luby mode on the conflict budget.
+            budget = (None if glucose
+                      else _RESTART_BASE * luby(restart_count))
             result = self._search(budget, deadline, conflict_budget,
                                   conflicts_total)
             conflicts_total += abs(result[1])
@@ -1405,15 +1624,24 @@ class CdclDriver(PropagationKernel):
                 return result[0]
             self.stats["restarts"] += 1
             self._backtrack(0)
-            if conflict_budget is not None and conflicts_total >= conflict_budget:
+            if (conflict_budget is not None
+                    and conflicts_total >= conflict_budget):
                 raise ResourceBudgetError(
                     f"conflict budget {conflict_budget} exhausted")
 
-    def _search(self, budget: int, deadline: Deadline,
+    def _search(self, budget: int | None, deadline: Deadline,
                 conflict_budget: int | None,
                 conflicts_before: int) -> tuple[bool | None, int]:
-        """Run CDCL until SAT/UNSAT or ``budget`` conflicts (restart)."""
+        """Run CDCL until SAT/UNSAT or a restart is due.
+
+        ``budget`` is the Luby conflict budget, or None for Glucose-EMA
+        mode: restart once the fast LBD average exceeds the slow one by
+        the margin (learning is locally harder than the long-run trend,
+        so the current prefix is likely a bad neighbourhood), but never
+        before ``_GLUCOSE_MIN_CONFLICTS`` conflicts in this run.
+        """
         conflicts = 0
+        level = self._level
         while True:
             conflict = self._propagate()
             if conflict is not None:
@@ -1423,11 +1651,21 @@ class CdclDriver(PropagationKernel):
                     self._ok = False
                     return False, conflicts
                 learnt, back_level, dep = self._analyze(conflict)
+                # LBD = distinct decision levels in the learnt clause
+                # (Audemard & Simon 2009); read before backtracking
+                # while every learnt literal still has its level.
+                lbd = len({level[lit if lit > 0 else -lit]
+                           for lit in learnt})
+                self._lbd_fast += _GLUCOSE_FAST_WEIGHT * (
+                    lbd - self._lbd_fast)
+                self._lbd_slow += _GLUCOSE_SLOW_WEIGHT * (
+                    lbd - self._lbd_slow)
                 self._backtrack(back_level)
                 if len(learnt) == 1:
                     self._enqueue(learnt[0], None)
                 else:
-                    clause = Clause(learnt, learnt=True, dep=dep)
+                    clause = Clause(learnt, learnt=True, lbd=lbd,
+                                    dep=dep)
                     self._learnts.append(clause)
                     self._watch_clause(clause)
                     self._bump_clause(clause)
@@ -1435,7 +1673,12 @@ class CdclDriver(PropagationKernel):
                 self._decay_activities()
                 if conflicts % _DEADLINE_CHECK_INTERVAL == 0:
                     deadline.check()
-                if conflicts >= budget:
+                if budget is not None:
+                    if conflicts >= budget:
+                        return None, conflicts
+                elif (conflicts >= _GLUCOSE_MIN_CONFLICTS
+                      and self._lbd_fast
+                      > _GLUCOSE_MARGIN * self._lbd_slow):
                     return None, conflicts
                 if (conflict_budget is not None
                         and conflicts_before + conflicts >= conflict_budget):

@@ -1,0 +1,148 @@
+"""Array-packed BCP prototype (numpy int32 storage), off by default.
+
+SNIPPETS.md's competition-solver exemplar reports a 100-226x gap
+between C and Python propagation loops.  This module probes how much of
+that gap numpy's vectorised primitives can close *without* leaving the
+Python process: the clause database is packed once into flat int32/int8
+arrays (CSR layout: one literal array plus row-start offsets), and BCP
+runs in rounds — each round evaluates every clause and XOR row against
+the whole assignment with ``np.add.reduceat`` and assigns every forced
+literal it finds.
+
+Unit propagation is confluent, so the round-based fixpoint equals the
+sequential watcher fixpoint: same derived assignments, conflict iff a
+sequential engine conflicts (``tests/sat/test_packed.py`` pins this
+differentially against an independent scan-to-fixpoint reference with
+the kernel's constraint semantics).
+What rounds change is the *work* per fixpoint — O(total literals) per
+round times the implication-chain depth, versus the watcher scheme's
+amortised O(watch moves).  The bench (``benchmarks/test_bench_kernel.py``)
+measures both honestly on the same inputs; the packed path is a
+prototype behind its own class and nothing in production construes it
+as the default.
+
+numpy is an optional dependency here: import of this module always
+succeeds, ``HAVE_NUMPY`` reports availability, and constructing a
+:class:`PackedPropagator` without numpy raises ``RuntimeError``.
+"""
+
+from __future__ import annotations
+
+try:  # gated: the kernel must not require numpy
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    _np = None
+
+HAVE_NUMPY = _np is not None
+
+__all__ = ["HAVE_NUMPY", "PackedPropagator"]
+
+
+class PackedPropagator:
+    """Round-based vectorised BCP over a packed clause database.
+
+    Built from a :class:`repro.sat.kernel.ClauseDB`; :meth:`propagate`
+    takes root assumptions and returns the propagation fixpoint (or a
+    conflict verdict) exactly like ``ClauseDB.propagate`` — but touching
+    the clause store only through whole-array numpy expressions.
+    """
+
+    def __init__(self, db):
+        if not HAVE_NUMPY:
+            raise RuntimeError(
+                "PackedPropagator requires numpy (not installed)")
+        self.num_vars = db.num_vars
+        clause_lits = [lit for clause in db.clauses for lit in clause]
+        lengths = [len(clause) for clause in db.clauses]
+        self._lits = _np.asarray(clause_lits, dtype=_np.int32)
+        self._vars = _np.abs(self._lits)
+        self._signs = _np.sign(self._lits).astype(_np.int8)
+        starts = _np.zeros(len(lengths), dtype=_np.int64)
+        if lengths:
+            starts[1:] = _np.cumsum(lengths[:-1])
+        self._starts = starts
+        self._lengths = _np.asarray(lengths, dtype=_np.int64)
+        # clause id per literal position, for unit-literal extraction
+        self._row = _np.repeat(
+            _np.arange(len(lengths), dtype=_np.int64), self._lengths)
+
+        xor_vars = [v for variables, _ in db.xors for v in variables]
+        xor_lengths = [len(variables) for variables, _ in db.xors]
+        self._xvars = _np.asarray(xor_vars, dtype=_np.int32)
+        xstarts = _np.zeros(len(xor_lengths), dtype=_np.int64)
+        if xor_lengths:
+            xstarts[1:] = _np.cumsum(xor_lengths[:-1])
+        self._xstarts = xstarts
+        self._xrhs = _np.asarray([1 if rhs else 0 for _, rhs in db.xors],
+                                 dtype=_np.int8)
+        self._xrow = _np.repeat(
+            _np.arange(len(xor_lengths), dtype=_np.int64),
+            _np.asarray(xor_lengths, dtype=_np.int64))
+
+    # ------------------------------------------------------------------
+    def propagate(self, lits=()):
+        """BCP to fixpoint from the given root literals.
+
+        Returns the assignment as a list (index = variable; +1/-1/0 as
+        in the kernel's component convention), or ``None`` on conflict.
+        Matches :meth:`ClauseDB.propagate`'s fixpoint by confluence of
+        unit propagation.
+        """
+        values = _np.zeros(self.num_vars + 1, dtype=_np.int8)
+        for lit in lits:
+            var, sign = abs(lit), (1 if lit > 0 else -1)
+            if values[var] == -sign:
+                return None
+            values[var] = sign
+        while True:
+            forced = self._round(values)
+            if forced is None:
+                return None
+            if not forced:
+                return values.tolist()
+            for lit in forced:
+                var, sign = abs(lit), (1 if lit > 0 else -1)
+                if values[var] == -sign:
+                    return None  # two clauses force opposite units
+                values[var] = sign
+
+    def _round(self, values):
+        """One whole-database evaluation; the vectorised hot path.
+
+        Returns the sorted list of literals forced this round, or None
+        on a falsified constraint.  Everything up to the final gather is
+        whole-array numpy work: per-literal truth values, per-clause
+        true/unset tallies via ``reduceat``, then boolean masks for
+        conflicts and units.
+        """
+        forced: set[int] = set()
+        if self._lits.size:
+            lit_vals = self._signs * values[self._vars]
+            is_true = lit_vals == 1
+            is_unset = lit_vals == 0
+            n_true = _np.add.reduceat(is_true, self._starts)
+            n_unset = _np.add.reduceat(is_unset, self._starts)
+            dead = n_true == 0
+            if bool(_np.any(dead & (n_unset == 0))):
+                return None
+            unit_rows = dead & (n_unset == 1)
+            if bool(_np.any(unit_rows)):
+                positions = unit_rows[self._row] & is_unset
+                forced.update(
+                    int(lit) for lit in self._lits[positions])
+        if self._xvars.size:
+            xvals = values[self._xvars]
+            n_true = _np.add.reduceat(xvals == 1, self._xstarts)
+            n_unset = _np.add.reduceat(xvals == 0, self._xstarts)
+            parity = (n_true + self._xrhs) & 1
+            if bool(_np.any((n_unset == 0) & (parity == 1))):
+                return None
+            unit_rows = n_unset == 1
+            if bool(_np.any(unit_rows)):
+                positions = unit_rows[self._xrow] & (xvals == 0)
+                open_vars = self._xvars[positions]
+                row_parity = parity[self._xrow[positions]]
+                for var, odd in zip(open_vars.tolist(),
+                                    row_parity.tolist()):
+                    forced.add(var if odd else -var)
+        return sorted(forced)

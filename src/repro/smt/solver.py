@@ -128,6 +128,17 @@ class SmtSolver:
         """
         self.sat.retain_learnts = enabled
 
+    def set_restart_policy(self, policy: str) -> None:
+        """Select the SAT core's restart policy (``"luby"`` or
+        ``"glucose"``).  Schedules never change verdicts, so estimates
+        are invariant; the knob exists for performance A/B runs."""
+        from repro.sat.kernel import RESTART_POLICIES
+        if policy not in RESTART_POLICIES:
+            raise ValueError(
+                f"unknown restart policy {policy!r}; "
+                f"pick from {RESTART_POLICIES}")
+        self.sat.restart_policy = policy
+
     @property
     def retained_learnts(self) -> int:
         """How many learnt clauses survived frame pops so far."""

@@ -1,0 +1,189 @@
+"""Targeted tests for the inprocessing stages (probe, bce).
+
+The stage-prefix property suite (``test_simplify_preservation.py``)
+already checks every prefix of ``STAGES`` end-to-end through the
+compile pipeline; these tests pin the two new stages directly:
+mechanism (failed literals asserted, blocked clauses removed, the
+protection rules honoured) and the projected-count-preservation
+property on random CNF+XOR states with an arbitrary frozen set —
+a wider input class than the pipeline produces.
+"""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.compile.artifact import CompileStats
+from repro.compile.simplify import (
+    CnfState, eliminate_blocked_clauses, probe_failed_literals,
+    propagate_units,
+)
+from repro.sat.solver import SatSnapshot
+
+
+def make_state(num_vars, clauses, xors=(), frozen=(), units=()):
+    snap = SatSnapshot(
+        num_vars=num_vars,
+        clauses=tuple(tuple(c) for c in clauses),
+        units=tuple(units),
+        xors=tuple((tuple(variables), bool(rhs))
+                   for variables, rhs in xors),
+        ok=True)
+    return CnfState(snap, set(frozen))
+
+
+def projected_count(state: CnfState, projection_vars) -> int:
+    """Brute-force projected count of the state's formula (clauses +
+    XOR rows + root assignment) over ``projection_vars``."""
+    if not state.ok:
+        return 0
+    num_vars = state.num_vars
+    projection = sorted(projection_vars)
+    cells = set()
+    for bits in itertools.product([False, True], repeat=num_vars):
+        assignment = (False,) + bits
+        if any(state.assign[var] != assignment[var]
+               for var in state.assign):
+            continue
+        if not all(any(assignment[abs(lit)] == (lit > 0) for lit in c)
+                   for c in state.clauses):
+            continue
+        if not all(
+                sum(assignment[v] for v in variables) % 2
+                == (1 if rhs else 0)
+                for variables, rhs in state.xors):
+            continue
+        cells.add(tuple(assignment[var] for var in projection))
+    return len(cells)
+
+
+# ----------------------------------------------------------------------
+# failed-literal probing: mechanism
+# ----------------------------------------------------------------------
+def test_probe_asserts_failed_literal():
+    # (1 2) (1 -2): assuming -1 propagates 2 and -2 — conflict, so 1
+    # is entailed and must join the root assignment.
+    state = make_state(2, [[1, 2], [1, -2]])
+    stats = CompileStats()
+    probe_failed_literals(state, stats)
+    assert state.ok
+    assert state.assign.get(1) is True
+    assert stats.failed_literals >= 1
+    assert state.clauses == []  # both clauses satisfied and dropped
+
+
+def test_probe_may_fix_frozen_variables():
+    # Entailed units are sound for protected variables too.
+    state = make_state(2, [[1, 2], [1, -2]], frozen={1, 2})
+    probe_failed_literals(state, CompileStats())
+    assert state.ok
+    assert state.assign.get(1) is True
+
+
+def test_probe_detects_unsat_when_both_polarities_fail():
+    state = make_state(2, [[1, 2], [1, -2], [-1, 2], [-1, -2]])
+    probe_failed_literals(state, CompileStats())
+    assert not state.ok
+
+
+def test_probe_uses_xor_rows():
+    # Binary XOR 1^2=0 makes 1 and 2 equivalent; clause (-1 -2) then
+    # fails the assumption 1 (it propagates 2 and falsifies the
+    # clause), so -1 is entailed.
+    state = make_state(2, [[-1, -2]], xors=[([1, 2], False)])
+    probe_failed_literals(state, CompileStats())
+    assert state.ok
+    assert state.assign.get(1) is False
+    assert state.assign.get(2) is False
+
+
+# ----------------------------------------------------------------------
+# blocked-clause elimination: mechanism
+# ----------------------------------------------------------------------
+def test_bce_removes_blocked_clause():
+    # (1 2) is blocked on 1: the only clause with -1 is (-1 -2), and
+    # the resolvent (2 -2) is tautological.  Confluently, (-1 -2) is
+    # then blocked too (no clause with 1 remains), so BCE drains both.
+    state = make_state(2, [[1, 2], [-1, -2]])
+    stats = CompileStats()
+    eliminate_blocked_clauses(state, stats)
+    assert state.ok
+    assert stats.blocked_clauses == 2
+    assert state.clauses == []
+
+
+def test_bce_respects_frozen_and_xor_vars():
+    state = make_state(2, [[1, 2], [-1, -2]], frozen={1, 2})
+    stats = CompileStats()
+    eliminate_blocked_clauses(state, stats)
+    assert stats.blocked_clauses == 0
+    assert len(state.clauses) == 2
+
+    state = make_state(2, [[1, 2], [-1, -2]], xors=[([1, 2], True)])
+    eliminate_blocked_clauses(state, stats)
+    assert len(state.clauses) == 2
+
+
+def test_bce_keeps_unblocked_clauses():
+    # (1 2) resolved with (-1 2) on 1 gives (2): not tautological, and
+    # var 2's resolvents aren't tautological either — nothing blocked
+    # until the frozen set stops var-1-based removal entirely.
+    state = make_state(2, [[1, 2], [-1, 2]], frozen={1})
+    stats = CompileStats()
+    eliminate_blocked_clauses(state, stats)
+    # blocked on 2: no clause contains -2, so both clauses are blocked
+    # on literal 2 (vacuously) and removed — a pure-literal special
+    # case, sound because var 2 is unprotected.
+    assert stats.blocked_clauses == 2
+    assert state.clauses == []
+
+
+# ----------------------------------------------------------------------
+# projected-count preservation on random states
+# ----------------------------------------------------------------------
+@st.composite
+def cnf_states(draw):
+    num_vars = draw(st.integers(min_value=2, max_value=5))
+    variables = st.integers(min_value=1, max_value=num_vars)
+    clause = st.lists(variables, min_size=1, max_size=3,
+                      unique=True).flatmap(
+        lambda vs: st.tuples(*[st.sampled_from([v, -v]) for v in vs]))
+    clauses = draw(st.lists(clause, min_size=0, max_size=7))
+    xor = st.tuples(
+        st.lists(variables, min_size=1, max_size=num_vars, unique=True),
+        st.booleans())
+    xors = draw(st.lists(xor, min_size=0, max_size=2))
+    frozen = draw(st.sets(variables, max_size=num_vars))
+    return num_vars, [list(c) for c in clauses], xors, frozen
+
+
+@given(cnf_states())
+@settings(max_examples=120, deadline=None)
+def test_probe_preserves_projected_count(problem):
+    num_vars, clauses, xors, frozen = problem
+    state = make_state(num_vars, clauses, xors, frozen)
+    before = projected_count(state, frozen)
+    probe_failed_literals(state, CompileStats())
+    assert projected_count(state, frozen) == before
+
+
+@given(cnf_states())
+@settings(max_examples=120, deadline=None)
+def test_bce_preserves_projected_count(problem):
+    num_vars, clauses, xors, frozen = problem
+    state = make_state(num_vars, clauses, xors, frozen)
+    propagate_units(state)
+    before = projected_count(state, frozen)
+    eliminate_blocked_clauses(state, CompileStats())
+    assert projected_count(state, frozen) == before
+
+
+@given(cnf_states())
+@settings(max_examples=80, deadline=None)
+def test_probe_then_bce_compose(problem):
+    num_vars, clauses, xors, frozen = problem
+    state = make_state(num_vars, clauses, xors, frozen)
+    before = projected_count(state, frozen)
+    probe_failed_literals(state, CompileStats())
+    eliminate_blocked_clauses(state, CompileStats())
+    assert projected_count(state, frozen) == before

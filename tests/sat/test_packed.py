@@ -1,0 +1,110 @@
+"""Differential tests for the array-packed BCP prototype.
+
+``PackedPropagator`` computes the *full* propagation fixpoint of
+F ∧ roots in vectorised rounds; unit propagation is confluent, so that
+fixpoint must equal a sequential reference's — same assignments,
+conflict iff the reference conflicts.  The reference here is an
+independent scan-to-fixpoint loop with the kernel's constraint
+semantics (``ClauseDB.propagate`` itself is incremental from the trail,
+a different contract).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sat.kernel import ClauseDB
+from repro.sat.packed import HAVE_NUMPY, PackedPropagator
+
+pytestmark = pytest.mark.skipif(not HAVE_NUMPY,
+                                reason="numpy not installed")
+
+
+def reference_fixpoint(num_vars, clauses, xors, roots):
+    """Scan every constraint to fixpoint; None on conflict."""
+    values = [0] * (num_vars + 1)
+    for lit in roots:
+        var, sign = abs(lit), (1 if lit > 0 else -1)
+        if values[var] == -sign:
+            return None
+        values[var] = sign
+    changed = True
+    while changed:
+        changed = False
+        for clause in clauses:
+            n_unset, satisfied, unit = 0, False, 0
+            for lit in clause:
+                value = values[abs(lit)] * (1 if lit > 0 else -1)
+                if value == 1:
+                    satisfied = True
+                    break
+                if value == 0:
+                    n_unset += 1
+                    unit = lit
+            if satisfied or n_unset > 1:
+                continue
+            if n_unset == 0:
+                return None
+            values[abs(unit)] = 1 if unit > 0 else -1
+            changed = True
+        for variables, rhs in xors:
+            n_unset, parity, open_var = 0, bool(rhs), 0
+            for var in variables:
+                if values[var] == 0:
+                    n_unset += 1
+                    open_var = var
+                elif values[var] == 1:
+                    parity = not parity
+            if n_unset > 1:
+                continue
+            if n_unset == 0:
+                if parity:
+                    return None
+                continue
+            values[open_var] = 1 if parity else -1
+            changed = True
+    return values
+
+
+@st.composite
+def packed_problems(draw):
+    num_vars = draw(st.integers(min_value=2, max_value=7))
+    variables = st.integers(min_value=1, max_value=num_vars)
+    clause = st.lists(variables, min_size=1, max_size=3,
+                      unique=True).flatmap(
+        lambda vs: st.tuples(*[st.sampled_from([v, -v]) for v in vs]))
+    clauses = draw(st.lists(clause, min_size=0, max_size=9))
+    xor = st.tuples(
+        st.lists(variables, min_size=1, max_size=num_vars, unique=True),
+        st.booleans())
+    xors = draw(st.lists(xor, min_size=0, max_size=3))
+    root_vars = draw(st.lists(variables, unique=True, max_size=num_vars))
+    roots = [draw(st.sampled_from([v, -v])) for v in root_vars]
+    return num_vars, [list(c) for c in clauses], xors, roots
+
+
+@given(packed_problems())
+@settings(max_examples=150, deadline=None)
+def test_packed_matches_reference_fixpoint(problem):
+    num_vars, clauses, xors, roots = problem
+    packed = PackedPropagator(ClauseDB(num_vars, clauses, xors))
+    assert (packed.propagate(roots)
+            == reference_fixpoint(num_vars, clauses, xors, roots))
+
+
+def test_empty_database():
+    packed = PackedPropagator(ClauseDB(3, [], []))
+    assert packed.propagate([2, -3]) == [0, 0, 1, -1]
+    assert packed.propagate([1, -1]) is None
+
+
+def test_round_conflict_on_opposing_units():
+    # Two clauses force opposite values of var 2 in the same round.
+    packed = PackedPropagator(ClauseDB(2, [[-1, 2], [-1, -2]]))
+    assert packed.propagate([1]) is None
+
+
+def test_xor_units_and_conflicts():
+    packed = PackedPropagator(ClauseDB(3, [], [([1, 2, 3], True)]))
+    assert packed.propagate([1, 2]) == [0, 1, 1, 1]
+    packed = PackedPropagator(ClauseDB(2, [], [([1, 2], False)]))
+    assert packed.propagate([1, -2]) is None
