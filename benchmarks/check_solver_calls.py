@@ -36,6 +36,7 @@ import sys
 
 from repro.core import PactConfig, cdm_count, pact_count
 from repro.count_exact import cc_count
+from repro.engine.pool import ExecutionPool
 from repro.sat.kernel import TELEMETRY
 from repro.smt import bv_ult, bv_val, bv_var
 
@@ -91,6 +92,25 @@ def measure() -> dict:
     results["exact:cc"] = {"solver_calls": exact.solver_calls,
                            "estimate": exact.estimate,
                            **_kernel_delta(before, "cc.")}
+    # The component-parallel row: same smoke formula through a 2-worker
+    # thread pool with a forced cube split.  Worker decisions merge
+    # into the parent's totals and the workers write the same
+    # process-wide telemetry, so every column is as deterministic as
+    # the serial row — and the estimate is gated against it
+    # (bit-identity is the tentpole invariant).
+    x = bv_var("ci_exact_cc_par", WIDTH)
+    before = TELEMETRY.snapshot()
+    parallel = cc_count([bv_ult(x, bv_val(bound, WIDTH))], [x],
+                        timeout=300,
+                        pool=ExecutionPool(jobs=2, backend="thread"),
+                        split_support=4)
+    assert parallel.solved, "exact:cc:par: smoke instance did not solve"
+    assert parallel.estimate == exact.estimate == bound, (
+        f"exact:cc:par diverged from serial: "
+        f"{parallel.estimate} != {exact.estimate}")
+    results["exact:cc:par"] = {"solver_calls": parallel.solver_calls,
+                               "estimate": parallel.estimate,
+                               **_kernel_delta(before, "cc.")}
     return results
 
 
@@ -103,7 +123,7 @@ def main() -> int:
         return 0
     baseline = json.loads(BASELINE_PATH.read_text())
     failed = False
-    keys = list(FAMILIES) + ["cdm", "exact:cc"]
+    keys = list(FAMILIES) + ["cdm", "exact:cc", "exact:cc:par"]
     for family in keys:
         got = measured[family]
         want = baseline[family]

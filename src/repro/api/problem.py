@@ -73,20 +73,23 @@ def key_incremental_mode(params: dict, incremental: bool) -> dict:
 
 
 def key_solver_modes(params: dict, *, incremental: bool = True,
-                     simplify: bool = True,
-                     restart: str = "luby") -> dict:
+                     simplify: bool = True, restart: str = "luby",
+                     component_store: str | None = None) -> dict:
     """Fold every estimate-neutral solver mode into fingerprint
     ``params`` — the incremental layer, the compile pipeline's
-    simplification and the kernel's restart policy share
-    :func:`key_incremental_mode`'s rule: a key is added only when the
-    mode is off its default, so default fingerprints stay
-    byte-identical to caches written before each knob existed.
+    simplification, the kernel's restart policy and the exact
+    counter's shared component store share :func:`key_incremental_mode`'s
+    rule: a key is added only when the mode is off its default, so
+    default fingerprints stay byte-identical to caches written before
+    each knob existed.
     """
     key_incremental_mode(params, incremental)
     if not simplify:
         params["simplify"] = False
     if restart != "luby":
         params["restart"] = restart
+    if component_store:
+        params["component_store"] = str(component_store)
     return params
 
 

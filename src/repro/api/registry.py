@@ -141,8 +141,11 @@ class CcCounter:
     Counts on the same compiled artifact the pact counters solve on
     (one compile per (problem, simplify) per process, shared through
     the memo and the session's artifact store); ``request.simplify``
-    selects the compile A/B mode, everything else it needs is the
-    budget.
+    selects the compile A/B mode.  A parallel ``pool`` fans top-level
+    components (and cube splits of wide ones) out across workers, and
+    ``request.component_store`` attaches the shared on-disk component
+    cache — counts are bit-identical to the serial, storeless run
+    either way.
     """
 
     name: str = "exact:cc"
@@ -154,7 +157,8 @@ class CcCounter:
                           list(problem.projection),
                           timeout=request.timeout, deadline=deadline,
                           simplify=request.simplify,
-                          digest=problem.compile_key)
+                          digest=problem.compile_key, pool=pool,
+                          component_store=request.component_store)
         return CountResponse.from_result(result, counter=self.name,
                                          problem=problem.name)
 

@@ -61,7 +61,10 @@ class CountRequest:
     (:mod:`repro.compile` — never changes estimates either, ``False``
     is its A/B baseline); ``restart`` picks the SAT kernel's restart
     policy (``"luby"``/``"glucose"`` — verdict-invariant, so estimates
-    never change).
+    never change); ``component_store`` points ``exact:cc`` at a shared
+    on-disk component cache (:mod:`repro.count_exact.store` — counts
+    are exact either way, but a warmed store changes how much search a
+    budget buys, so it keys the fingerprint like the other modes).
     """
 
     counter: str = "pact:xor"
@@ -74,6 +77,7 @@ class CountRequest:
     incremental: bool = True
     simplify: bool = True
     restart: str = "luby"
+    component_store: str | None = None
 
     def __post_init__(self):
         if self.epsilon <= 0:
@@ -103,7 +107,7 @@ class CountRequest:
              "iterations": self.iteration_override,
              "limit": self.limit},
             incremental=self.incremental, simplify=self.simplify,
-            restart=self.restart)
+            restart=self.restart, component_store=self.component_store)
 
 
 @dataclass(frozen=True)

@@ -60,6 +60,8 @@ class _CountSpec:
     limit: int | None
     incremental: bool = True
     simplify: bool = True
+    restart: str = "luby"
+    component_store: str | None = None
 
 
 def _run_spec(spec: _CountSpec, cancel=None,
@@ -80,7 +82,8 @@ def _run_spec(spec: _CountSpec, cancel=None,
         seed=spec.seed,
         timeout=spec.timeout if budget is None else budget,
         iteration_override=spec.iteration_override, limit=spec.limit,
-        incremental=spec.incremental, simplify=spec.simplify)
+        incremental=spec.incremental, simplify=spec.simplify,
+        restart=spec.restart, component_store=spec.component_store)
     deadline = (CooperativeDeadline(request.timeout, cancel)
                 if cancel is not None else None)
     counter = resolve(spec.counter)
@@ -383,7 +386,8 @@ class Session:
             timeout=request.timeout,
             iteration_override=request.iteration_override,
             limit=request.limit, incremental=request.incremental,
-            simplify=request.simplify)
+            simplify=request.simplify, restart=request.restart,
+            component_store=request.component_store)
 
     def _preload_artifact(self, problem: Problem, request: CountRequest,
                           counter: str) -> str | None:

@@ -85,7 +85,9 @@ def _request(args, counter: str) -> CountRequest:
                         delta=args.delta, seed=args.seed,
                         timeout=args.timeout,
                         simplify=not getattr(args, "no_simplify", False),
-                        restart=getattr(args, "restart", "luby"))
+                        restart=getattr(args, "restart", "luby"),
+                        component_store=getattr(args, "component_store",
+                                                None))
 
 
 def _print_solved(response) -> None:
@@ -115,10 +117,14 @@ def _cmd_count(args) -> int:
               f"time {response.time_seconds:.2f}s "
               f"counter {response.counter}")
         if getattr(args, "stats", False):
+            if response.detail:
+                print(f"c detail {response.detail}")
             _print_kernel_stats()
         return 0
     print(f"s {response.status}")
     if getattr(args, "stats", False):
+        if response.detail:
+            print(f"c detail {response.detail}")
         _print_kernel_stats()
     return 1
 
@@ -453,6 +459,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the merged kernel-telemetry snapshot "
                             "(decisions, propagations, conflicts, "
                             "restarts, ...) after the count")
+    count.add_argument("--component-store", default=None, metavar="PATH",
+                       help="shared sqlite component cache for "
+                            "--counter exact:cc: consulted before the "
+                            "search, flushed after; safe to share "
+                            "across concurrent runs and --jobs workers "
+                            "(counts are exact either way)")
     _add_request_arguments(count)
     _add_engine_arguments(count)
     count.set_defaults(handler=_cmd_count)

@@ -11,13 +11,16 @@ DESIGN.md section 6.
 from repro.count_exact.closure import (
     ClosureStats, MAX_CLOSURE_ATOMS, lra_closure,
 )
-from repro.count_exact.counter import CcStats, cc_count, count_compiled
+from repro.count_exact.counter import (
+    CcStats, cc_count, count_compiled, count_snapshot,
+)
 from repro.count_exact.signature import (
     component_signature, projection_occurrences,
 )
+from repro.count_exact.store import ComponentStore
 
 __all__ = [
-    "CcStats", "ClosureStats", "MAX_CLOSURE_ATOMS", "cc_count",
-    "component_signature", "count_compiled", "lra_closure",
-    "projection_occurrences",
+    "CcStats", "ClosureStats", "ComponentStore", "MAX_CLOSURE_ATOMS",
+    "cc_count", "component_signature", "count_compiled",
+    "count_snapshot", "lra_closure", "projection_occurrences",
 ]

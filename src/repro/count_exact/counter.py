@@ -15,7 +15,16 @@ the compiled clause DB, specialised to *projected* counting:
 * **Component caching** — every component's count is cached under its
   canonical signature (:mod:`repro.count_exact.signature`), so
   structurally repeated subformulas — ubiquitous under comparator and
-  adder circuits — are counted once.
+  adder circuits — are counted once.  With a
+  :class:`repro.count_exact.store.ComponentStore` attached, the cache
+  is also consulted from and flushed to disk, so the facts survive the
+  process and are shared across worker processes and runs.
+* **Component parallelism** — under a parallel
+  :class:`repro.engine.pool.ExecutionPool`, top-level components (and
+  cube-and-conquer splits of components with wide projected support)
+  are dispatched to workers as picklable residual subproblems
+  (:mod:`repro.count_exact.parallel`); their counts multiply (cubes of
+  one component sum), bit-identical to the serial product.
 * **Conflict learning** — the search runs on the kernel's
   :class:`repro.sat.kernel.ComponentDriver`, which resolves every
   propagation conflict back to its decision literals and keeps the
@@ -27,7 +36,8 @@ the compiled clause DB, specialised to *projected* counting:
   component only if every *sibling* component of the enclosing scopes
   is satisfiable, so whenever a scope's product hits zero every cache
   entry inserted during that scope is purged (see
-  :meth:`_Search._purge`).
+  :meth:`_Search._purge`).  Only entries that survive to a clean
+  completion are ever flushed to the disk store.
 * **Theory exactness** — XOR rows propagate natively; lazy LRA atoms
   are closed eagerly into blocking clauses before the search
   (:mod:`repro.count_exact.closure`), so the Boolean projected count
@@ -49,6 +59,7 @@ from repro.count_exact.closure import lra_closure
 from repro.count_exact.signature import (
     component_signature, projection_occurrences,
 )
+from repro.count_exact.store import ComponentStore
 from repro.errors import CounterError, SolverTimeoutError
 from repro.sat.kernel import (
     TELEMETRY, Component, ComponentDriver, FALSE_V, TRUE_V, build_driver,
@@ -58,7 +69,7 @@ from repro.smt.terms import Term
 from repro.status import Status
 from repro.utils.deadline import Deadline
 
-__all__ = ["CcStats", "cc_count", "count_compiled"]
+__all__ = ["CcStats", "cc_count", "count_compiled", "count_snapshot"]
 
 _DEADLINE_CHECK_INTERVAL = 256  # decisions between deadline polls
 # The search recurses a few frames per variable; the floor covers any
@@ -85,31 +96,39 @@ def _ensure_recursion_limit(needed: int) -> None:
 
 
 class CcStats:
-    """Accounting for one component-caching count."""
+    """Accounting for one component-caching count.
+
+    All fields are additive tallies, so worker-side instances merge
+    into the parent's by plain summation (:meth:`merge`) — the same
+    contract as :meth:`repro.core.cells.CallCounter.merge`, minus the
+    lock: a ``CcStats`` is only ever written by the search (or merge
+    loop) that owns it.
+    """
 
     __slots__ = ("decisions", "components", "cache_hits", "cache_misses",
                  "sat_checks", "free_bits", "closure_atoms",
                  "closure_checks", "closure_clauses", "conflicts",
                  "learned", "learnt_evicted", "purged", "shared_units",
-                 "shared_clauses", "propagations")
+                 "shared_clauses", "propagations", "store_hits",
+                 "dispatched")
 
     def __init__(self):
-        self.decisions = 0
-        self.components = 0
-        self.cache_hits = 0
-        self.cache_misses = 0
-        self.sat_checks = 0
-        self.free_bits = 0
-        self.closure_atoms = 0
-        self.closure_checks = 0
-        self.closure_clauses = 0
-        self.conflicts = 0
-        self.learned = 0
-        self.learnt_evicted = 0
-        self.purged = 0
-        self.shared_units = 0
-        self.shared_clauses = 0
-        self.propagations = 0
+        for name in self.__slots__:
+            setattr(self, name, 0)
+
+    def as_dict(self) -> dict[str, int]:
+        """The counters as a plain (picklable) dict."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def merge(self, other) -> None:
+        """Fold another stats object (or its :meth:`as_dict` image —
+        the form worker payloads travel in) into this one, by sum."""
+        if isinstance(other, CcStats):
+            other = other.as_dict()
+        for name in self.__slots__:
+            increment = other.get(name, 0)
+            if increment:
+                setattr(self, name, getattr(self, name) + increment)
 
     def as_detail(self) -> str:
         """The compact stats string persisted with the result (the
@@ -120,6 +139,10 @@ class CcStats:
                  f"cache_entries={self.cache_misses}",
                  f"sat_checks={self.sat_checks}",
                  f"free_bits={self.free_bits}"]
+        if self.dispatched:
+            parts.append(f"dispatched={self.dispatched}")
+        if self.store_hits:
+            parts.append(f"store_hits={self.store_hits}")
         if self.conflicts or self.learned:
             parts.append(
                 f"learning={self.learned} learnt/"
@@ -158,11 +181,37 @@ class _Search:
         # pops every key inserted after a scope's watermark (slicing the
         # tail off the log), so a key appears at most once in the log.
         self._cache_log: list[tuple] = []
+        # Signatures seeded from a ComponentStore: context-free facts
+        # established by a previous (or sibling) search, never logged —
+        # so never purged and never re-flushed.
+        self.seeded: set[tuple] = set()
 
     # ------------------------------------------------------------------
     def assert_roots(self, units) -> bool:
         """Assert the snapshot's root units and propagate; False = UNSAT."""
         return self.driver.assert_roots(units)
+
+    def seed_cache(self, entries: dict[tuple, int]) -> None:
+        """Warm the cache with store entries (hits count as
+        ``store_hits``; the entries stay out of the purge log)."""
+        for signature, count in entries.items():
+            if signature not in self.cache:
+                self.cache[signature] = count
+                self.seeded.add(signature)
+
+    def record(self, signature: tuple, count: int) -> None:
+        """Record an externally computed component count (a dispatched
+        subproblem's result — exact by construction, since the worker
+        ran a complete independent search)."""
+        self.cache[signature] = count
+        self._cache_log.append(signature)
+
+    def flushable(self) -> dict[tuple, int]:
+        """The entries a clean completion may persist: everything that
+        survived the purge discipline, minus the seeded facts the store
+        already holds."""
+        return {signature: self.cache[signature]
+                for signature in self._cache_log}
 
     def count_scope(self, scope) -> int:
         """Projected count of the residual formula over ``scope``
@@ -198,7 +247,10 @@ class _Search:
                                         component)
         cached = self.cache.get(signature)
         if cached is not None:
-            self.stats.cache_hits += 1
+            if signature in self.seeded:
+                self.stats.store_hits += 1
+            else:
+                self.stats.cache_hits += 1
             return cached
         self.stats.cache_misses += 1
         branch = self._pick_branch_variable(signature)
@@ -288,9 +340,115 @@ class _Search:
 # ----------------------------------------------------------------------
 # entry points
 # ----------------------------------------------------------------------
+def count_snapshot(snapshot, projection, *, deadline: Deadline | None = None,
+                   timeout: float | None = None, learn: bool = True,
+                   extra_clauses=(), pool=None, component_store=None,
+                   split_support: int | None = None, presolve: bool = True,
+                   stats: CcStats | None = None) -> CountResult:
+    """Count a :class:`repro.sat.kernel.SatSnapshot` exactly, projected
+    onto ``projection`` (an iterable of SAT variable ids).
+
+    This is the substrate entry both :func:`count_compiled` and the
+    parallel component workers
+    (:func:`repro.count_exact.parallel.count_component_task`) run on:
+
+    * ``pool`` — a parallel :class:`repro.engine.pool.ExecutionPool`
+      dispatches top-level components (cube-split when their projected
+      support exceeds ``split_support``) to workers; counts are
+      bit-identical to the serial product.
+    * ``component_store`` — path of a shared
+      :class:`~repro.count_exact.store.ComponentStore`: consulted
+      before the search, flushed after a clean completion (only
+      purge-surviving entries — the Sang–Beame–Kautz-clean set).
+    * ``presolve`` — workers skip the shared-lemma presolve pass; the
+      parent already ran it on the full formula.
+
+    A deadline expiring mid-recursion — including the indirect forms, a
+    ``RecursionError`` from an interpreter whose limit could not keep
+    up or a ``KeyboardInterrupt`` mid-search — surfaces as
+    ``Status.TIMEOUT`` with the partial stats in ``detail``, never as a
+    silently short count.
+    """
+    start = time.monotonic()
+    if deadline is None:
+        deadline = Deadline(timeout)
+    if stats is None:
+        stats = CcStats()
+    projection = frozenset(projection)
+    driver = None
+    store = None
+    remote = CcStats()
+    try:
+        deadline.check()
+        driver = build_driver("component", snapshot,
+                              extra_clauses=extra_clauses, learn=learn)
+        search = _Search(driver, projection, deadline, stats)
+        _ensure_recursion_limit(
+            4 * driver.db.num_vars + _RECURSION_HEADROOM)
+        if component_store is not None:
+            store = ComponentStore(component_store)
+            search.seed_cache(store.load(projection))
+        roots = list(snapshot.units)
+        presat = snapshot.ok
+        if learn and presat and presolve:
+            # Learnt-clause sharing across drivers: a bounded CDCL pass
+            # over the same snapshot yields backbone literals (asserted
+            # as extra roots) and short lemmas (seeded into the learnt
+            # store) — every one entailed by the formula, so the count
+            # is unchanged while propagation gets ahead of the search.
+            verdict, shared_units, shared_clauses = presolve_lemmas(
+                snapshot, deadline=deadline)
+            if verdict is False:
+                presat = False
+            else:
+                roots.extend(shared_units)
+                stats.shared_units = len(shared_units)
+                stats.shared_clauses = driver.seed(shared_clauses)
+        if not presat or not search.assert_roots(roots):
+            count = 0
+        else:
+            scope = range(1, driver.db.num_vars + 1)
+            if pool is not None and getattr(pool, "parallel", False):
+                from repro.count_exact.parallel import count_parallel
+                count = count_parallel(search, scope, pool, deadline,
+                                       component_store, split_support,
+                                       remote)
+            else:
+                count = search.count_scope(scope)
+    except (SolverTimeoutError, RecursionError, KeyboardInterrupt) as error:
+        _merge_driver_stats(stats, driver)
+        stats.merge(remote)
+        detail = stats.as_detail()
+        if not isinstance(error, SolverTimeoutError):
+            # The indirect deadline forms: surface them as a timeout
+            # with their cause on record, not as a bare crash (and
+            # never as a short count).
+            detail += f" interrupted={type(error).__name__}"
+        if store is not None:
+            store.close()
+        return CountResult(
+            estimate=None, status=Status.TIMEOUT,
+            solver_calls=stats.decisions,
+            time_seconds=time.monotonic() - start,
+            detail=detail)
+    _merge_driver_stats(stats, driver)
+    stats.merge(remote)
+    if store is not None:
+        # Flush-on-clean: a completed search's surviving entries are
+        # context-free exact counts; anything a zero scope tainted was
+        # purged before it could reach the log.
+        store.flush(search.flushable(), projection)
+        store.close()
+    return CountResult(
+        estimate=count, status=Status.OK, exact=True,
+        solver_calls=stats.decisions, sat_answers=0,
+        time_seconds=time.monotonic() - start, detail=stats.as_detail())
+
+
 def count_compiled(artifact, *, deadline: Deadline | None = None,
-                   timeout: float | None = None,
-                   learn: bool = True) -> CountResult:
+                   timeout: float | None = None, learn: bool = True,
+                   pool=None, component_store=None,
+                   split_support: int | None = None) -> CountResult:
     """Count a :class:`repro.compile.CompiledProblem` exactly.
 
     The artifact is the same one the pact counters solve on (shared
@@ -298,7 +456,9 @@ def count_compiled(artifact, *, deadline: Deadline | None = None,
     store); XOR rows and root units come straight from its snapshot.
     ``learn=False`` disables the driver's conflict learning — the
     search then visits exactly the decisions of the pre-kernel
-    substrate (differential-testing hook).
+    substrate (differential-testing hook).  ``pool``,
+    ``component_store`` and ``split_support`` are forwarded to
+    :func:`count_snapshot`.
     """
     start = time.monotonic()
     if deadline is None:
@@ -311,64 +471,44 @@ def count_compiled(artifact, *, deadline: Deadline | None = None,
         raise CounterError(
             "exact:cc requires distinct SAT variables per projection bit")
 
-    driver = None
     try:
         deadline.check()
         closure = lra_closure(artifact.atoms, deadline=deadline)
-        stats.closure_atoms = closure.atoms
-        stats.closure_checks = closure.checks
-        stats.closure_clauses = len(closure.clauses)
-
-        driver = build_driver("component", artifact.snapshot,
-                              extra_clauses=closure.clauses, learn=learn)
-        search = _Search(driver, frozenset(projection_vars), deadline,
-                         stats)
-        _ensure_recursion_limit(
-            4 * driver.db.num_vars + _RECURSION_HEADROOM)
-        roots = list(artifact.snapshot.units)
-        presat = artifact.snapshot.ok
-        if learn and presat:
-            # Learnt-clause sharing across drivers: a bounded CDCL pass
-            # over the same snapshot yields backbone literals (asserted
-            # as extra roots) and short lemmas (seeded into the learnt
-            # store) — every one entailed by the formula, so the count
-            # is unchanged while propagation gets ahead of the search.
-            verdict, shared_units, shared_clauses = presolve_lemmas(
-                artifact.snapshot, deadline=deadline)
-            if verdict is False:
-                presat = False
-            else:
-                roots.extend(shared_units)
-                stats.shared_units = len(shared_units)
-                stats.shared_clauses = driver.seed(shared_clauses)
-        if not presat or not search.assert_roots(roots):
-            count = 0
-        else:
-            count = search.count_scope(range(1, driver.db.num_vars + 1))
     except SolverTimeoutError:
-        _merge_driver_stats(stats, driver)
         return CountResult(
             estimate=None, status=Status.TIMEOUT,
             solver_calls=stats.decisions,
             time_seconds=time.monotonic() - start,
             detail=stats.as_detail())
-    _merge_driver_stats(stats, driver)
-    return CountResult(
-        estimate=count, status=Status.OK, exact=True,
-        solver_calls=stats.decisions, sat_answers=0,
-        time_seconds=time.monotonic() - start, detail=stats.as_detail())
+    stats.closure_atoms = closure.atoms
+    stats.closure_checks = closure.checks
+    stats.closure_clauses = len(closure.clauses)
+    result = count_snapshot(
+        artifact.snapshot, projection_vars, deadline=deadline,
+        learn=learn, extra_clauses=closure.clauses, pool=pool,
+        component_store=component_store, split_support=split_support,
+        stats=stats)
+    result.time_seconds = time.monotonic() - start
+    return result
 
 
 def _merge_driver_stats(stats: CcStats, driver) -> None:
     """Fold the driver's learning counters into the count's stats and
-    the process-wide kernel telemetry (once per count)."""
+    the process-wide kernel telemetry (once per count).
+
+    Called *before* worker stats merge in, so the telemetry receives
+    only this driver's own work — workers merged theirs in their own
+    process, and the pool transports those deltas separately
+    (:mod:`repro.engine.pool`); adding them here again would double
+    count.
+    """
     if driver is None:
         return
     counters = driver.stats()
-    stats.conflicts = counters["conflicts"]
-    stats.learned = counters["learned"]
-    stats.learnt_evicted = counters["learnt_evicted"]
-    stats.propagations = counters["propagations"]
+    stats.conflicts += counters["conflicts"]
+    stats.learned += counters["learned"]
+    stats.learnt_evicted += counters["learnt_evicted"]
+    stats.propagations += counters["propagations"]
     counters["decisions"] = stats.decisions
     TELEMETRY.merge(counters, prefix="cc.")
 
@@ -377,14 +517,19 @@ def cc_count(assertions, projection: list[Term],
              timeout: float | None = None, *,
              deadline: Deadline | None = None, simplify: bool = True,
              script: str | None = None,
-             digest: str | None = None, learn: bool = True) -> CountResult:
+             digest: str | None = None, learn: bool = True,
+             pool=None, component_store=None,
+             split_support: int | None = None) -> CountResult:
     """Count |Sol(F)|_S| exactly by component-caching search.
 
     Same calling convention as the other counters: ``deadline``
     optionally replaces the ``timeout``-derived deadline; ``simplify``
     selects the compile pipeline's A/B mode; ``digest`` short-circuits
     artifact hashing when the caller already has the compile key;
-    ``learn`` toggles the driver's conflict learning.
+    ``learn`` toggles the driver's conflict learning.  ``pool`` fans
+    top-level components out across workers, ``component_store`` names
+    the shared on-disk component cache, ``split_support`` tunes the
+    cube-and-conquer threshold (see :func:`count_snapshot`).
     """
     from repro.core.pact import compile_counting_problem
     if isinstance(assertions, Term):
@@ -395,6 +540,8 @@ def cc_count(assertions, projection: list[Term],
     artifact = compile_counting_problem(list(assertions), list(projection),
                                         simplify=simplify, script=script,
                                         digest=digest)
-    result = count_compiled(artifact, deadline=deadline, learn=learn)
+    result = count_compiled(artifact, deadline=deadline, learn=learn,
+                            pool=pool, component_store=component_store,
+                            split_support=split_support)
     result.time_seconds = time.monotonic() - start
     return result

@@ -24,6 +24,16 @@ Design notes:
 * **Picklability.**  The process backend requires task callables and
   arguments to be picklable module-level objects; the fan-out and
   scheduler modules provide such workers.
+* **Telemetry transport.**  The process-wide
+  :data:`repro.sat.kernel.TELEMETRY` lives per *process*, so kernel
+  work done by a process-backend worker used to vanish from the
+  parent's ``--stats`` totals.  ``_invoke`` snapshots the worker's
+  telemetry around the task and ships the delta home in the outcome
+  payload; ``_record`` folds it into the parent's instance (the same
+  lock-atomic merge contract as :meth:`CallCounter.merge`) — but only
+  when the outcome crossed a process boundary, because serial and
+  thread workers already wrote the shared instance directly.  Totals
+  are therefore backend-independent.
 """
 
 from __future__ import annotations
@@ -38,6 +48,7 @@ from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from repro.errors import ResourceBudgetError, SolverTimeoutError
+from repro.sat.kernel import TELEMETRY
 from repro.status import Status
 
 BACKENDS = ("serial", "thread", "process")
@@ -118,6 +129,7 @@ def _invoke(fn: Callable, args: tuple, budget: float | None,
     """
     start = time.monotonic()
     tag = _worker_tag(backend)
+    pid = os.getpid()
     if deadline_at is not None:
         remaining = deadline_at - start
         if remaining <= 0:
@@ -126,15 +138,27 @@ def _invoke(fn: Callable, args: tuple, budget: float | None,
             return {"value": None,
                     "error": SolverTimeoutError(
                         "batch deadline passed before task start"),
-                    "worker": tag, "time": 0.0}
+                    "worker": tag, "time": 0.0, "pid": pid,
+                    "telemetry": {}}
         budget = remaining if budget is None else min(budget, remaining)
+    before = TELEMETRY.snapshot()
     try:
         value = fn(*args, budget=budget)
-        return {"value": value, "error": None, "worker": tag,
-                "time": time.monotonic() - start}
+        outcome = {"value": value, "error": None, "worker": tag,
+                   "time": time.monotonic() - start}
     except Exception as error:  # noqa: BLE001 - reported, not swallowed
-        return {"value": None, "error": error, "worker": tag,
-                "time": time.monotonic() - start}
+        outcome = {"value": None, "error": error, "worker": tag,
+                   "time": time.monotonic() - start}
+    after = TELEMETRY.snapshot()
+    outcome["pid"] = pid
+    # Only the task's own kernel work: the delta against the pre-task
+    # snapshot (other threads of a thread-backend worker may interleave,
+    # but those outcomes never cross a process boundary, so their
+    # deltas are dropped on arrival rather than merged twice).
+    outcome["telemetry"] = {
+        key: after[key] - before.get(key, 0)
+        for key in after if after[key] != before.get(key, 0)}
+    return outcome
 
 
 class ExecutionPool:
@@ -182,6 +206,13 @@ class ExecutionPool:
     # ------------------------------------------------------------------
     def _record(self, task: Task, outcome: dict) -> TaskResult:
         error = outcome["error"]
+        telemetry = outcome.get("telemetry")
+        if telemetry and outcome.get("pid") not in (None, os.getpid()):
+            # A process-backend worker's kernel counters: fold the delta
+            # into this process's instance (lock-atomic), so --stats
+            # totals are identical across backends.  Same-process
+            # outcomes already wrote the shared instance directly.
+            TELEMETRY.merge(telemetry)
         result = TaskResult(
             key=task.key, value=outcome["value"], error=error,
             status=Status.OK if error is None else _classify(error),

@@ -1,0 +1,242 @@
+"""Component-parallel exact counting: bit-identity against the serial
+search, cube-and-conquer splitting, stats/telemetry transport across
+backends, and deadline/interrupt surfacing."""
+
+import random
+import time
+
+import pytest
+
+from repro.api import CountRequest, Problem, resolve
+from repro.count_exact.counter import CcStats, count_snapshot
+from repro.count_exact.parallel import (
+    ComponentSpec, _cube_width, count_component_task,
+)
+from repro.engine.pool import ExecutionPool
+from repro.sat.kernel import TELEMETRY, SatSnapshot
+from repro.smt import bv_ult, bv_val, bv_var
+from repro.status import Status
+from repro.utils.deadline import Deadline
+
+
+def random_snapshot(seed, num_vars=15, num_clauses=18, num_xors=2):
+    """A satisfiable-leaning random CNF+XOR snapshot with several
+    top-level components (width-2/3 clauses, low density)."""
+    rng = random.Random(seed)
+    clauses = []
+    for _ in range(num_clauses):
+        width = rng.randint(2, 3)
+        chosen = rng.sample(range(1, num_vars + 1), width)
+        clauses.append(tuple(var if rng.random() < 0.5 else -var
+                             for var in chosen))
+    xors = []
+    for _ in range(num_xors):
+        width = rng.randint(2, 4)
+        xors.append((tuple(sorted(rng.sample(range(1, num_vars + 1),
+                                             width))),
+                     bool(rng.getrandbits(1))))
+    return SatSnapshot(num_vars, tuple(clauses), (), tuple(xors), ok=True)
+
+
+PROJECTION = frozenset(range(1, 12))
+
+
+# ----------------------------------------------------------------------
+# bit-identity
+# ----------------------------------------------------------------------
+class TestBitIdentity:
+    @pytest.mark.parametrize("jobs", [1, 2, 4])
+    @pytest.mark.parametrize("seed", range(4))
+    def test_thread_backend_matches_serial(self, seed, jobs):
+        snapshot = random_snapshot(seed)
+        serial = count_snapshot(snapshot, PROJECTION)
+        pool = ExecutionPool(jobs=jobs, backend="thread")
+        parallel = count_snapshot(snapshot, PROJECTION, pool=pool,
+                                  split_support=4)
+        assert serial.status is parallel.status is Status.OK
+        assert serial.estimate == parallel.estimate
+
+    @pytest.mark.parametrize("seed", range(2))
+    def test_process_backend_matches_serial(self, seed):
+        snapshot = random_snapshot(seed)
+        serial = count_snapshot(snapshot, PROJECTION)
+        pool = ExecutionPool(jobs=2, backend="process")
+        parallel = count_snapshot(snapshot, PROJECTION, pool=pool,
+                                  split_support=4)
+        assert serial.estimate == parallel.estimate
+
+    def test_forced_cube_split_matches_serial(self):
+        """split_support=0 cube-splits every component with projected
+        support, so the cubes-sum-to-component invariant is on the
+        critical path."""
+        snapshot = random_snapshot(11)
+        serial = count_snapshot(snapshot, PROJECTION)
+        stats = CcStats()
+        pool = ExecutionPool(jobs=4, backend="thread")
+        parallel = count_snapshot(snapshot, PROJECTION, pool=pool,
+                                  split_support=0, stats=stats)
+        assert parallel.estimate == serial.estimate
+        assert stats.dispatched >= 2  # at least one component, cubed
+
+    def test_cube_specs_sum_to_whole_component(self):
+        """Counting each cube of a spec independently sums to the
+        unsplit spec's count — the identity the parent relies on."""
+        clauses = ((1, 2, -3), (-1, 4), (2, 3, 4), (-2, -4))
+        base = dict(num_vars=4, clauses=clauses, xors=(),
+                    projection=(1, 2, 3, 4))
+        whole = count_component_task(ComponentSpec(units=(), **base))
+        split = [count_component_task(
+                     ComponentSpec(units=(1 if bit else -1,), **base))
+                 for bit in (0, 1)]
+        assert whole["count"] == sum(part["count"] for part in split)
+
+
+# ----------------------------------------------------------------------
+# stats and telemetry transport
+# ----------------------------------------------------------------------
+class TestStatsTransport:
+    def test_worker_stats_fold_into_parent(self):
+        snapshot = random_snapshot(3)
+        serial_stats = CcStats()
+        count_snapshot(snapshot, PROJECTION, stats=serial_stats)
+        pool_stats = CcStats()
+        pool = ExecutionPool(jobs=2, backend="process")
+        count_snapshot(snapshot, PROJECTION, pool=pool, split_support=4,
+                       stats=pool_stats)
+        assert pool_stats.dispatched > 0
+        # the workers' search work is visible in the parent totals
+        assert pool_stats.decisions > 0
+        assert pool_stats.components > 0
+
+    def test_stats_are_backend_independent(self):
+        """Thread and process workers run the same searches, so the
+        merged totals agree counter for counter."""
+        snapshot = random_snapshot(5)
+        totals = {}
+        for backend in ("thread", "process"):
+            stats = CcStats()
+            pool = ExecutionPool(jobs=2, backend=backend)
+            result = count_snapshot(snapshot, PROJECTION, pool=pool,
+                                    split_support=4, stats=stats)
+            totals[backend] = (result.estimate, stats.as_dict())
+        assert totals["thread"] == totals["process"]
+
+    def test_telemetry_survives_the_process_boundary(self):
+        """The pool ships each worker's kernel-telemetry delta home, so
+        ``pact count --stats`` totals are backend-independent."""
+        snapshot = random_snapshot(7)
+        deltas = {}
+        for backend in ("thread", "process"):
+            before = TELEMETRY.snapshot().get("cc.decisions", 0)
+            pool = ExecutionPool(jobs=2, backend=backend)
+            count_snapshot(snapshot, PROJECTION, pool=pool,
+                           split_support=4)
+            after = TELEMETRY.snapshot().get("cc.decisions", 0)
+            deltas[backend] = after - before
+        assert deltas["process"] > 0
+        assert deltas["thread"] == deltas["process"]
+
+
+# ----------------------------------------------------------------------
+# deadline and interrupt surfacing
+# ----------------------------------------------------------------------
+class _ExpiringDeadline(Deadline):
+    """Unlimited for the first ``allowance`` polls, expired after —
+    a deterministic mid-recursion timeout."""
+
+    def __init__(self, allowance: int):
+        super().__init__(None)
+        self.allowance = allowance
+
+    def check(self):
+        self.allowance -= 1
+        if self.allowance < 0:
+            from repro.errors import SolverTimeoutError
+            raise SolverTimeoutError("deadline exceeded")
+
+
+class TestDeadlines:
+    def test_mid_recursion_deadline_surfaces_partial_stats(self, monkeypatch):
+        """A deadline expiring deep in the search yields TIMEOUT with
+        the partial stats in detail — never a silently short count."""
+        from repro.count_exact import counter as counter_module
+        monkeypatch.setattr(counter_module, "_DEADLINE_CHECK_INTERVAL", 4)
+        snapshot = random_snapshot(1, num_vars=18, num_clauses=24)
+        result = count_snapshot(snapshot, frozenset(range(1, 15)),
+                                presolve=False,
+                                deadline=_ExpiringDeadline(3))
+        assert result.status is Status.TIMEOUT
+        assert result.estimate is None
+        assert result.detail.startswith("cc: decisions=")
+        assert result.solver_calls > 0  # partial work is on record
+
+    def test_worker_timeout_never_returns_partial_product(self, monkeypatch):
+        """When any dispatched subproblem times out the parent raises
+        (surfacing TIMEOUT), instead of multiplying the components that
+        did finish."""
+        import repro.count_exact.parallel as parallel_module
+        monkeypatch.setattr(parallel_module, "_deadline_at",
+                            lambda deadline: time.monotonic() - 1.0)
+        snapshot = random_snapshot(2)
+        pool = ExecutionPool(jobs=2, backend="thread")
+        result = count_snapshot(snapshot, PROJECTION, pool=pool,
+                                split_support=4)
+        assert result.status is Status.TIMEOUT
+        assert result.estimate is None
+
+    @pytest.mark.parametrize("interrupt", [RecursionError, KeyboardInterrupt])
+    def test_indirect_interrupts_surface_as_timeout(self, monkeypatch,
+                                                    interrupt):
+        """RecursionError/KeyboardInterrupt mid-search surface as
+        TIMEOUT with the cause named in detail, not as a bare crash."""
+        from repro.count_exact import counter as counter_module
+
+        def explode(self, scope):
+            raise interrupt()
+
+        monkeypatch.setattr(counter_module._Search, "count_scope", explode)
+        snapshot = random_snapshot(0)
+        result = count_snapshot(snapshot, PROJECTION)
+        assert result.status is Status.TIMEOUT
+        assert result.estimate is None
+        assert f"interrupted={interrupt.__name__}" in result.detail
+
+
+# ----------------------------------------------------------------------
+# cube geometry
+# ----------------------------------------------------------------------
+class TestCubeWidth:
+    def test_tracks_job_count(self):
+        assert _cube_width(1) == 1   # 2 cubes: minimum useful split
+        assert _cube_width(2) == 1
+        assert _cube_width(4) == 2
+        assert _cube_width(8) == 3
+        assert _cube_width(16) == 4
+
+    def test_is_capped(self):
+        assert _cube_width(1024) == 4
+
+
+# ----------------------------------------------------------------------
+# API threading
+# ----------------------------------------------------------------------
+class TestApiThreading:
+    def test_component_store_keys_the_fingerprint_only_when_set(self):
+        default = CountRequest(counter="exact:cc").cache_params()
+        assert "component_store" not in default
+        keyed = CountRequest(counter="exact:cc",
+                             component_store="/tmp/cc.sqlite").cache_params()
+        assert keyed["component_store"] == "/tmp/cc.sqlite"
+
+    def test_registry_forwards_pool_and_store(self, tmp_path):
+        x = bv_var("cc_par_reg", 10)
+        problem = Problem.from_terms([bv_ult(x, bv_val(700, 10))], [x],
+                                     name="cc_par_reg")
+        store_path = tmp_path / "cc.sqlite"
+        request = CountRequest(counter="exact:cc",
+                               component_store=str(store_path))
+        pool = ExecutionPool(jobs=2, backend="thread")
+        response = resolve("exact:cc").count(problem, request, pool=pool)
+        assert response.estimate == 700
+        assert response.exact
+        assert store_path.exists()
